@@ -1,0 +1,370 @@
+//! HipMCL-style Markov clustering on batched distributed SpGEMM.
+//!
+//! Markov clustering (MCL) iterates two operations on a column-stochastic
+//! matrix: **expansion** (matrix squaring — the SpGEMM) and **inflation**
+//! (elementwise power + column re-normalization), pruning small entries to
+//! keep the matrix sparse. HipMCL \[19\] is its distributed incarnation;
+//! the paper plugs BatchedSUMMA3D into it (Sec. V-C, Fig. 3) because the
+//! expanded matrix `A²` does not fit in memory: each batch of columns is
+//! **inflated, normalized and pruned inside the batched multiply**, before
+//! the next batch is formed.
+//!
+//! Pruning is column-global (top-`select` entries of a column), and a
+//! column of the product is split across the process column `P(:,j,k)`, so
+//! the per-batch callback performs the same column-wise reductions HipMCL
+//! performs: an allgather of per-column contributions along the process
+//! column, charged to `Step::Other` (application time, not SpGEMM time —
+//! matching how Fig. 3 reports only the SpGEMM steps).
+
+use crate::components::components_from_pattern;
+use spgemm_core::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
+use spgemm_core::dist::{gather_pieces, scatter, CPiece, DistKind};
+use spgemm_core::{CoreError, KernelStrategy, MemoryBudget};
+use spgemm_simgrid::{max_breakdown, run_ranks, Grid3D, Machine, Rank, Step, StepBreakdown};
+use spgemm_sparse::semiring::PlusTimesF64;
+use spgemm_sparse::{CscMatrix, Triples};
+use std::sync::Arc;
+
+/// Markov clustering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MclParams {
+    /// Inflation exponent (classic MCL uses 2.0).
+    pub inflation: f64,
+    /// Absolute pruning threshold applied after normalization.
+    pub prune_threshold: f64,
+    /// Keep at most this many entries per column (HipMCL's "select").
+    pub select: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when the chaos metric drops below this.
+    pub chaos_threshold: f64,
+    /// Simulated processes.
+    pub p: usize,
+    /// 3D grid layers.
+    pub layers: usize,
+    /// Machine cost model.
+    pub machine: Machine,
+    /// Local kernel generation.
+    pub kernels: KernelStrategy,
+    /// Memory budget (drives per-iteration batch counts).
+    pub budget: MemoryBudget,
+}
+
+impl MclParams {
+    /// Reasonable defaults on a `p`-rank, `l`-layer grid.
+    pub fn new(p: usize, layers: usize) -> Self {
+        MclParams {
+            inflation: 2.0,
+            prune_threshold: 1e-4,
+            select: 64,
+            max_iters: 30,
+            chaos_threshold: 1e-3,
+            p,
+            layers,
+            machine: Machine::knl(),
+            kernels: KernelStrategy::New,
+            budget: MemoryBudget::unlimited(),
+        }
+    }
+}
+
+/// Per-iteration measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct IterStats {
+    /// Critical-path step breakdown of the iteration's SpGEMM.
+    pub breakdown: StepBreakdown,
+    /// Batches the symbolic step chose this iteration.
+    pub nbatches: usize,
+    /// Chaos after the iteration (0 = fully converged).
+    pub chaos: f64,
+    /// Nonzeros in the pruned iterate.
+    pub nnz: usize,
+}
+
+/// Clustering result.
+#[derive(Debug, Clone)]
+pub struct MclResult {
+    /// Cluster label per node.
+    pub labels: Vec<usize>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Per-iteration stats (Fig. 3's bars).
+    pub per_iter: Vec<IterStats>,
+}
+
+/// Add self-loops and column-normalize (the canonical MCL preprocessing).
+pub fn mcl_init(adj: &CscMatrix<f64>) -> CscMatrix<f64> {
+    let n = adj.nrows();
+    assert_eq!(n, adj.ncols(), "MCL needs a square adjacency matrix");
+    let mut t = Triples::with_capacity(n, n, adj.nnz() + n);
+    let mut has_diag = vec![false; n];
+    for (r, c, v) in adj.iter() {
+        if r as usize == c {
+            has_diag[c] = true;
+        }
+        t.push(r, c as u32, v.abs());
+    }
+    for (j, &h) in has_diag.iter().enumerate() {
+        if !h {
+            t.push(j as u32, j as u32, 1.0);
+        }
+    }
+    let mut m = t.to_csc_dedup::<PlusTimesF64>();
+    normalize_columns(&mut m);
+    m
+}
+
+fn normalize_columns(m: &mut CscMatrix<f64>) {
+    let sums = spgemm_sparse::ops::col_sums::<PlusTimesF64>(m);
+    let factors: Vec<f64> = sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    spgemm_sparse::ops::scale_cols(m, &factors);
+}
+
+/// MCL chaos metric: `max_j (max_i M_ij − Σ_i M_ij²)` over normalized
+/// columns; 0 when every column is a single unit entry (fully converged).
+pub fn chaos(m: &CscMatrix<f64>) -> f64 {
+    let mut worst: f64 = 0.0;
+    for j in 0..m.ncols() {
+        let (_, vals) = m.col(j);
+        if vals.is_empty() {
+            continue;
+        }
+        let mx = vals.iter().cloned().fold(0.0, f64::max);
+        let sumsq: f64 = vals.iter().map(|v| v * v).sum();
+        worst = worst.max(mx - sumsq);
+    }
+    worst
+}
+
+/// The per-batch HipMCL pruning: inflate, normalize, select top-k,
+/// threshold, re-normalize. Column-global quantities are reduced along the
+/// process column communicator.
+fn prune_batch_piece(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    mut piece: CPiece<f64>,
+    params: &MclParams,
+) -> CPiece<f64> {
+    let ncols = piece.local.ncols();
+    // Inflation (elementwise power) is local.
+    let inflated = piece.local.map(|v| v.abs().powf(params.inflation));
+
+    // Column sums across the process column.
+    let my_sums = spgemm_sparse::ops::col_sums::<PlusTimesF64>(&inflated);
+    let all_sums = rank.allgather(&grid.col, my_sums, ncols * 8, Step::Other);
+    let mut sums = vec![0.0f64; ncols];
+    for contrib in &all_sums {
+        for (s, &c) in sums.iter_mut().zip(contrib.iter()) {
+            *s += c;
+        }
+    }
+
+    // Normalize locally with the global sums.
+    let mut normalized = inflated;
+    let factors: Vec<f64> = sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    spgemm_sparse::ops::scale_cols(&mut normalized, &factors);
+
+    // Column-global top-`select` thresholds: gather every rank's values per
+    // column, find the k-th largest.
+    let my_vals: Vec<Vec<f64>> = (0..ncols).map(|j| normalized.col(j).1.to_vec()).collect();
+    let bytes: usize = normalized.nnz() * 8;
+    let all_vals = rank.allgather(&grid.col, my_vals, bytes, Step::Other);
+    let mut kth = vec![0.0f64; ncols];
+    let mut scratch: Vec<f64> = Vec::new();
+    for (j, kth_j) in kth.iter_mut().enumerate() {
+        scratch.clear();
+        for contrib in &all_vals {
+            scratch.extend_from_slice(&contrib[j]);
+        }
+        if scratch.len() > params.select {
+            scratch.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+            *kth_j = scratch[params.select - 1];
+        }
+    }
+
+    // Prune: keep entries that are both above the column's top-k cut and
+    // above the absolute threshold... then re-normalize the survivors.
+    normalized.retain(|_, j, v| v >= kth[j] && v >= params.prune_threshold);
+    let my_sums2 = spgemm_sparse::ops::col_sums::<PlusTimesF64>(&normalized);
+    let all_sums2 = rank.allgather(&grid.col, my_sums2, ncols * 8, Step::Other);
+    let mut sums2 = vec![0.0f64; ncols];
+    for contrib in &all_sums2 {
+        for (s, &c) in sums2.iter_mut().zip(contrib.iter()) {
+            *s += c;
+        }
+    }
+    let factors2: Vec<f64> = sums2
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    spgemm_sparse::ops::scale_cols(&mut normalized, &factors2);
+
+    piece.local = normalized;
+    piece
+}
+
+/// One expansion+inflation+pruning iteration on the virtual cluster.
+/// Returns the new (gathered) iterate and the iteration's measurements.
+fn mcl_iteration(
+    m: &CscMatrix<f64>,
+    params: &MclParams,
+) -> Result<(CscMatrix<f64>, StepBreakdown, usize), CoreError> {
+    let n = m.nrows();
+    let m_arc = Arc::new(m.clone());
+    let params = *params;
+    let results = run_ranks(params.p, params.machine, move |rank| {
+        let grid = Grid3D::new(rank, params.layers);
+        let da = scatter(
+            rank,
+            &grid,
+            DistKind::AStyle,
+            (rank.rank() == 0).then(|| Arc::clone(&m_arc)),
+        );
+        let db = scatter(
+            rank,
+            &grid,
+            DistKind::BStyle,
+            (rank.rank() == 0).then(|| Arc::clone(&m_arc)),
+        );
+        let cfg = BatchConfig {
+            kernels: params.kernels,
+            batching: BatchingStrategy::BlockCyclic,
+            budget: params.budget,
+            forced_batches: None,
+            merge_schedule: Default::default(),
+        };
+        let grid_ref = &grid;
+        let result = batched_summa3d::<PlusTimesF64>(rank, &grid, &da, &db, &cfg, |rank, out| {
+            Some(prune_batch_piece(rank, grid_ref, out.piece, &params))
+        })?;
+        let nbatches = result.nbatches;
+        let gathered = gather_pieces(rank, &grid.world, result.pieces, n, n);
+        Ok::<_, CoreError>((gathered, *rank.clock().breakdown(), nbatches))
+    });
+
+    let mut new_m = None;
+    let mut breakdowns = Vec::with_capacity(params.p);
+    let mut nbatches = 1;
+    for (i, r) in results.into_iter().enumerate() {
+        let (c, bd, nb) = r?;
+        breakdowns.push(bd);
+        nbatches = nb;
+        if i == 0 {
+            new_m = c;
+        }
+    }
+    Ok((
+        new_m.expect("root must gather the iterate"),
+        max_breakdown(&breakdowns),
+        nbatches,
+    ))
+}
+
+/// Run Markov clustering on `adj` (symmetric similarity matrix).
+pub fn markov_cluster(adj: &CscMatrix<f64>, params: &MclParams) -> Result<MclResult, CoreError> {
+    let mut m = mcl_init(adj);
+    let mut per_iter = Vec::new();
+    let mut iterations = 0;
+    for _ in 0..params.max_iters {
+        let (next, breakdown, nbatches) = mcl_iteration(&m, params)?;
+        m = next;
+        iterations += 1;
+        let ch = chaos(&m);
+        per_iter.push(IterStats {
+            breakdown,
+            nbatches,
+            chaos: ch,
+            nnz: m.nnz(),
+        });
+        if ch < params.chaos_threshold {
+            break;
+        }
+    }
+    let labels = components_from_pattern(&m, params.prune_threshold);
+    Ok(MclResult {
+        labels,
+        iterations,
+        per_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{num_clusters, same_partition};
+    use spgemm_sparse::gen::clustered_similarity;
+
+    #[test]
+    fn init_is_column_stochastic_with_diagonal() {
+        let adj = clustered_similarity(3, 10, 5, 1, 91);
+        let m = mcl_init(&adj);
+        for j in 0..m.ncols() {
+            let (rows, vals) = m.col(j);
+            assert!(rows.contains(&(j as u32)), "self loop at {j}");
+            let s: f64 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "column {j} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn chaos_zero_on_converged_matrix() {
+        let m = CscMatrix::identity(5);
+        assert_eq!(chaos(&m), 0.0);
+        let spread = mcl_init(&clustered_similarity(2, 8, 4, 1, 92));
+        assert!(chaos(&spread) > 0.01);
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        // 4 dense communities, weak inter-links: MCL must cut them apart.
+        let nclusters = 4;
+        let size = 8;
+        let adj = clustered_similarity(nclusters, size, 6, 1, 93);
+        let params = MclParams::new(4, 1);
+        let result = markov_cluster(&adj, &params).unwrap();
+        let expected: Vec<usize> = (0..nclusters * size).map(|v| v / size).collect();
+        assert!(
+            same_partition(&result.labels, &expected),
+            "labels {:?} (k = {}) should match the planted partition",
+            result.labels,
+            num_clusters(&result.labels)
+        );
+        assert!(result.iterations >= 2);
+    }
+
+    #[test]
+    fn distributed_configs_agree() {
+        let adj = clustered_similarity(3, 8, 5, 1, 94);
+        let base = markov_cluster(&adj, &MclParams::new(1, 1)).unwrap();
+        for (p, l) in [(4usize, 1usize), (4, 4), (16, 4)] {
+            let other = markov_cluster(&adj, &MclParams::new(p, l)).unwrap();
+            assert!(
+                same_partition(&base.labels, &other.labels),
+                "p={p} l={l} changed the clustering"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_budget_forces_batching_but_same_answer() {
+        let adj = clustered_similarity(3, 8, 5, 1, 95);
+        let loose = markov_cluster(&adj, &MclParams::new(4, 1)).unwrap();
+        let mut params = MclParams::new(4, 1);
+        // Budget sized to inputs plus a sliver: forces b > 1 in early iters.
+        let inputs = mcl_init(&adj).nnz() * 24 * 2;
+        params.budget = MemoryBudget::new(inputs * 3);
+        let tight = markov_cluster(&adj, &params).unwrap();
+        assert!(
+            tight.per_iter[0].nbatches > 1,
+            "expected batching, got b = {}",
+            tight.per_iter[0].nbatches
+        );
+        assert!(same_partition(&loose.labels, &tight.labels));
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the virtual MPI runtime itself: real
+//! wall-clock overhead of spawning ranks and running collectives. These
+//! bound the simulator's intrusiveness — the per-collective overhead must
+//! stay far below the local kernel times the distributed benches measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgemm_simgrid::{run_ranks, Grid3D, Machine, Step};
+use std::sync::Arc;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simgrid_runtime");
+    group.sample_size(10);
+    for p in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("spawn_join", p), &p, |b, &p| {
+            b.iter(|| run_ranks(p, Machine::knl(), |rank| rank.rank()))
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_100rounds", p), &p, |b, &p| {
+            b.iter(|| {
+                run_ranks(p, Machine::knl(), |rank| {
+                    let grid = Grid3D::new(rank, 1);
+                    for i in 0..100usize {
+                        let root = i % grid.row.size();
+                        let payload = (grid.row.my_index() == root).then(|| Arc::new(i));
+                        rank.bcast(&grid.row, root, payload, 64, Step::ABcast);
+                    }
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_100rounds", p), &p, |b, &p| {
+            b.iter(|| {
+                run_ranks(p, Machine::knl(), |rank| {
+                    let comm = rank.world_comm();
+                    let mut acc = 0u64;
+                    for _ in 0..100 {
+                        acc = rank.allreduce(&comm, acc + 1, |a, b| a.max(b), 8, Step::Other);
+                    }
+                    acc
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Fig. 12: hyperthreading at extreme scale.
+//!
+//! Paper setup: squaring Metaclust50 on 4096 KNL nodes; HT=Yes uses all 4
+//! hardware threads per core (4× the processes, 1,048,576 threads total),
+//! each thread slower, the process grid larger. Finding: computation time
+//! drops, communication time grows, total still improves — most at high
+//! `l` where compute dominates; hyperthreading does not help once the run
+//! is communication-bound. Here: KNL preset at p vs the KNL-HT preset
+//! (slower per-thread compute) at 4p.
+
+use spgemm_bench::{measure_f64, workloads, write_csv};
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, StepReport};
+
+fn main() {
+    let a = workloads::dense_protein_like();
+    println!(
+        "Fig. 12: hyperthreading, Metaclust50-stand-in (dense protein net) n={} nnz={}\n",
+        a.nrows(),
+        a.nnz()
+    );
+    let base_p = 64usize;
+    let mut report = StepReport::new();
+    let mut csv = String::from("ht,p,layers,comp_s,comm_s,total_s\n");
+    for layers in [16usize, 64] {
+        let mut rows = Vec::new();
+        for (ht, p, machine) in [
+            (false, base_p, Machine::knl()),
+            (true, base_p * 4, Machine::knl_hyperthreaded()),
+        ] {
+            let mut cfg = RunConfig::new(p, layers);
+            cfg.machine = machine;
+            cfg.budget = MemoryBudget::new((8 << 20) * base_p);
+            let out = measure_f64(&cfg, &a, &a);
+            let (comp, comm, total) = (
+                out.max.comp_total(),
+                out.max.comm_total(),
+                out.max.total(),
+            );
+            report.push(
+                format!("HT={} p={p} l={layers} b={}", if ht { "yes" } else { "no" }, out.nbatches),
+                out.max,
+            );
+            csv.push_str(&format!(
+                "{},{p},{layers},{comp:.6e},{comm:.6e},{total:.6e}\n",
+                ht as u8
+            ));
+            rows.push((ht, comp, comm, total));
+        }
+        let (no, yes) = (&rows[0], &rows[1]);
+        println!(
+            "l={layers}: HT compute {:.2}x faster, comm {:.2}x slower, total {:.2}x",
+            no.1 / yes.1,
+            yes.2 / no.2,
+            no.3 / yes.3
+        );
+    }
+    println!("\n{}", report.to_table());
+    println!(
+        "Mechanisms (as in the paper): HT makes computation faster and communication \
+         slower. Whether the total improves depends on the compute share —"
+    );
+    println!(
+        "the paper notes hyperthreading \"may not help when SpGEMM becomes \
+         communication-bound\", which is the regime of the rows above."
+    );
+
+    // Regime study: the same comparison on a machine whose network is fast
+    // relative to its cores (the compute-dominated regime of the paper's
+    // Fig. 12, where HT wins overall).
+    println!("\ncompute-dominated regime (16x network speed, b = 1):");
+    for layers in [16usize, 64] {
+        let mut rows = Vec::new();
+        for (ht, p, mut machine) in [
+            (false, base_p, Machine::knl()),
+            (true, base_p * 4, Machine::knl_hyperthreaded()),
+        ] {
+            machine.beta /= 16.0;
+            machine.alpha /= 16.0;
+            let mut cfg = RunConfig::new(p, layers);
+            cfg.machine = machine;
+            cfg.budget = MemoryBudget::new((8 << 20) * base_p);
+            cfg.forced_batches = Some(1);
+            let out = measure_f64(&cfg, &a, &a);
+            rows.push((ht, out.max.comp_total(), out.max.comm_total(), out.max.total()));
+        }
+        let (no, yes) = (&rows[0], &rows[1]);
+        println!(
+            "  l={layers}: HT compute {:.2}x faster, comm {:.2}x slower, total {:.2}x \
+             (paper: total improves, most where compute dominates)",
+            no.1 / yes.1,
+            yes.2 / no.2,
+            no.3 / yes.3
+        );
+    }
+    write_csv("fig12_hyperthreading.csv", &csv);
+}

@@ -1,0 +1,58 @@
+//! Fig. 14: applicability at small scale — squaring Eukarya, the smallest
+//! matrix, at low concurrency.
+//!
+//! Paper finding: on 16 nodes, layering cuts A-Bcast but barely moves the
+//! total (communication doesn't dominate); on 256 nodes, 4 layers wins
+//! while 16 layers stops helping because AllToAll-Fiber becomes the new
+//! bottleneck — so modest `l` is the right choice at a few hundred nodes.
+//! Here: Eukarya-like on 16 and 256 simulated ranks, l ∈ {1, 4, 16}.
+
+use spgemm_bench::{measure_f64, workloads, write_csv};
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, Step, StepReport};
+
+fn main() {
+    let a = workloads::eukarya_like();
+    println!(
+        "Fig. 14: squaring Eukarya-like (n={}, nnz={})\n",
+        a.nrows(),
+        a.nnz()
+    );
+    let mut report = StepReport::new();
+    let mut csv = String::from("p,layers,batches,abcast_s,a2afiber_s,total_s\n");
+    for p in [16usize, 256] {
+        let mut per_l = Vec::new();
+        for layers in [1usize, 4, 16] {
+            let mut cfg = RunConfig::new(p, layers);
+            cfg.machine = Machine::knl_mini();
+            cfg.budget = MemoryBudget::new((768 << 10) * p);
+            let out = measure_f64(&cfg, &a, &a);
+            report.push(format!("p={p} l={layers} b={}", out.nbatches), out.max);
+            csv.push_str(&format!(
+                "{p},{layers},{},{:.6e},{:.6e},{:.6e}\n",
+                out.nbatches,
+                out.max.secs_of(Step::ABcast),
+                out.max.secs_of(Step::AllToAllFiber),
+                out.max.total()
+            ));
+            per_l.push(out.max);
+        }
+        println!("p={p}:");
+        println!(
+            "  A-Bcast reduction l=1 -> l=16: {:.1}x (layering always cuts broadcasts)",
+            per_l[0].secs_of(Step::ABcast) / per_l[2].secs_of(Step::ABcast).max(1e-12)
+        );
+        println!(
+            "  totals: l=1 {:.5}s, l=4 {:.5}s, l=16 {:.5}s",
+            per_l[0].total(),
+            per_l[1].total(),
+            per_l[2].total()
+        );
+        println!(
+            "  AllToAll-Fiber at l=16: {:.5}s (the emerging bottleneck)\n",
+            per_l[2].secs_of(Step::AllToAllFiber)
+        );
+    }
+    println!("{}", report.to_table());
+    write_csv("fig14_small_matrix.csv", &csv);
+}

@@ -1,0 +1,41 @@
+//! Fig. 5: with `b` fixed, A-Broadcast time falls like `√l` as layers
+//! increase.
+//!
+//! Paper setup: squaring Friendster on 65,536 cores, b ∈ {8,…,64}; solid
+//! lines (observed) track dashed lines (a factor-of-2 drop per 4× layers).
+//! Here: Friendster-like on 256 ranks, l ∈ {1,4,16}, b ∈ {4,16,64}.
+
+use spgemm_bench::{measure_f64, workloads, write_csv};
+use spgemm_core::RunConfig;
+use spgemm_simgrid::{Machine, Step};
+
+fn main() {
+    let a = workloads::friendster_like(11);
+    let p = 256;
+    println!("Fig. 5: A-Bcast vs layers, Friendster-like n={} on p={p}\n", a.nrows());
+    println!(
+        "{:>4} {:>4} {:>14} {:>14} {:>8}",
+        "b", "l", "observed(s)", "expected(s)", "ratio"
+    );
+    let mut csv = String::from("b,l,observed_s,expected_s\n");
+    for b in [4usize, 16, 64] {
+        let mut base = None;
+        for l in [1usize, 4, 16] {
+            let mut cfg = RunConfig::new(p, l);
+            cfg.machine = Machine::knl_mini();
+            cfg.forced_batches = Some(b);
+            let out = measure_f64(&cfg, &a, &a);
+            let observed = out.max.secs_of(Step::ABcast);
+            // Dashed line: from the l=1 point, drop by 2 per 4x layers.
+            let expected = *base.get_or_insert(observed) / (l as f64).sqrt();
+            println!(
+                "{b:>4} {l:>4} {observed:>14.5} {expected:>14.5} {:>8.2}",
+                observed / expected
+            );
+            csv.push_str(&format!("{b},{l},{observed:.6e},{expected:.6e}\n"));
+        }
+        println!();
+    }
+    write_csv("fig5_abcast_layers.csv", &csv);
+    println!("Observed should track the √l-decay line while bandwidth dominates (large b).");
+}

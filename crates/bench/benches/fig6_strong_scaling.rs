@@ -1,0 +1,59 @@
+//! Fig. 6: strong scaling of BatchedSUMMA3D when squaring Friendster and
+//! Isolates-small, with the batch count coming from the symbolic step.
+//!
+//! Paper setup: 4,096 → 65,536 cores (16×), l = 16, constant memory per
+//! node — so aggregate memory grows with scale and `b` falls, producing
+//! super-linear A-Bcast reductions. Here: 16 → 1024 simulated ranks with
+//! constant per-rank budget. Expected shape: total speedup ≳ p ratio for
+//! the flop-heavy matrix, batch counts printed on top of each bar
+//! decreasing with p.
+
+use spgemm_bench::{measure_f64, speedup_arrows, workloads, write_csv};
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, StepReport};
+use spgemm_sparse::CscMatrix;
+
+const PS: [usize; 4] = [16, 64, 256, 1024];
+/// Constant per-rank budget (bytes): aggregate memory grows with p.
+const PER_RANK_BYTES: usize = 1 << 20;
+
+fn scale_matrix(label: &str, a: &CscMatrix<f64>) -> (StepReport, Vec<f64>, Vec<usize>) {
+    let mut report = StepReport::new();
+    let mut totals = Vec::new();
+    let mut batches = Vec::new();
+    for &p in &PS {
+        let mut cfg = RunConfig::new(p, 16);
+            cfg.machine = Machine::knl_mini();
+        cfg.budget = MemoryBudget::new(PER_RANK_BYTES * p);
+        let out = measure_f64(&cfg, a, a);
+        totals.push(out.max.total());
+        batches.push(out.nbatches);
+        report.push(format!("{label} p={p} b={}", out.nbatches), out.max);
+    }
+    (report, totals, batches)
+}
+
+fn main() {
+    let friendster = workloads::friendster_like(12);
+    let isolates = workloads::isolates_like(16, 200);
+    let mut csv = String::from("matrix,p,batches,total_s\n");
+    for (label, a) in [("friendster", &friendster), ("isolates-small", &isolates)] {
+        println!(
+            "\n=== Fig. 6: squaring {label} (n={}, nnz={}), l=16, b from symbolic ===",
+            a.nrows(),
+            a.nnz()
+        );
+        let (report, totals, batches) = scale_matrix(label, a);
+        println!("{}", report.to_table());
+        println!("batches per bar: {batches:?}");
+        println!("speedups between bars: {}", speedup_arrows(&totals));
+        println!(
+            "overall speedup at 64x more ranks: {:.1}x (paper: 14x Friendster, 17.3x Isolates-small at 16x cores)",
+            totals[0] / totals[totals.len() - 1]
+        );
+        for ((p, t), b) in PS.iter().zip(&totals).zip(&batches) {
+            csv.push_str(&format!("{label},{p},{b},{t:.6e}\n"));
+        }
+    }
+    write_csv("fig6_strong_scaling.csv", &csv);
+}

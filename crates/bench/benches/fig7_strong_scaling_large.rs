@@ -1,0 +1,61 @@
+//! Fig. 7: strong scaling on the two biggest matrices (Isolates,
+//! Metaclust50) — the extreme memory-constrained regime with large batch
+//! counts that fall as aggregate memory grows.
+//!
+//! Paper setup: 16,384 → 262,144 cores, l = 16; Isolates starts at b = 125
+//! and reaches superlinear 4.5× node-to-node speedups because `b` collapses
+//! (125 → 35) with 4× more memory. Here: 64 → 1024 simulated ranks with
+//! constant per-rank budget and deliberately tight memory so the smallest
+//! run needs many batches.
+
+use spgemm_bench::{measure_f64, speedup_arrows, workloads, write_csv};
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, StepReport};
+
+const PS: [usize; 3] = [64, 256, 1024];
+/// Tight per-rank budget: the b=many regime of Fig. 7.
+const PER_RANK_BYTES: usize = 192 << 10;
+
+fn main() {
+    let isolates = workloads::isolates_like(16, 250);
+    let metaclust = workloads::metaclust_like(32, 125);
+    let mut csv = String::from("matrix,p,batches,total_s,comm_s,comp_s\n");
+    for (label, a) in [("isolates", &isolates), ("metaclust50", &metaclust)] {
+        println!(
+            "\n=== Fig. 7: squaring {label} (n={}, nnz={}), l=16 ===",
+            a.nrows(),
+            a.nnz()
+        );
+        let mut report = StepReport::new();
+        let mut totals = Vec::new();
+        let mut batches = Vec::new();
+        for &p in &PS {
+            let mut cfg = RunConfig::new(p, 16);
+            cfg.machine = Machine::knl_mini();
+            cfg.budget = MemoryBudget::new(PER_RANK_BYTES * p);
+            let out = measure_f64(&cfg, a, a);
+            totals.push(out.max.total());
+            batches.push(out.nbatches);
+            report.push(format!("{label} p={p} b={}", out.nbatches), out.max);
+            csv.push_str(&format!(
+                "{label},{p},{},{:.6e},{:.6e},{:.6e}\n",
+                out.nbatches,
+                out.max.total(),
+                out.max.comm_total(),
+                out.max.comp_total()
+            ));
+        }
+        println!("{}", report.to_table());
+        println!("batches per bar: {batches:?} (must fall as p grows)");
+        println!("speedups between bars: {}", speedup_arrows(&totals));
+        println!(
+            "overall: {:.1}x at 16x more ranks (paper: 13x Isolates, 6.3x Metaclust50)",
+            totals[0] / totals[totals.len() - 1]
+        );
+        assert!(
+            batches.windows(2).all(|w| w[1] <= w[0]),
+            "batch count must not grow with memory"
+        );
+    }
+    write_csv("fig7_strong_scaling_large.csv", &csv);
+}

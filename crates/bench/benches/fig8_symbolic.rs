@@ -1,0 +1,46 @@
+//! Fig. 8: the symbolic step's communication vs computation time as
+//! layers increase.
+//!
+//! Paper setup: Isolates-small on 65,536 cores, l ∈ {1,4,16}: symbolic
+//! communication gets > 4× faster at 16 layers (> 2× total), a bigger win
+//! than for the numeric multiply because `LocalSymbolic` is so cheap.
+//! Here: Isolates-like on 256 ranks.
+
+use spgemm_bench::{measure_f64, workloads, write_csv};
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, Step};
+
+fn main() {
+    let a = workloads::isolates_like(10, 60);
+    let p = 256;
+    println!(
+        "Fig. 8: symbolic step breakdown, Isolates-like n={} on p={p}\n",
+        a.nrows()
+    );
+    println!(
+        "{:>4} {:>14} {:>14} {:>14}",
+        "l", "comm(s)", "comp(s)", "total(s)"
+    );
+    let mut csv = String::from("l,comm_s,comp_s,total_s\n");
+    let mut totals = Vec::new();
+    let mut comms = Vec::new();
+    for l in [1usize, 4, 16] {
+        let mut cfg = RunConfig::new(p, l);
+            cfg.machine = Machine::knl_mini();
+        // Realistic budget so the symbolic step actually runs (not forced).
+        cfg.budget = MemoryBudget::new((1 << 20) * p);
+        let out = measure_f64(&cfg, &a, &a);
+        let comm = out.max.secs_of(Step::SymbolicComm);
+        let comp = out.max.secs_of(Step::SymbolicComp);
+        println!("{l:>4} {comm:>14.5} {comp:>14.5} {:>14.5}", comm + comp);
+        csv.push_str(&format!("{l},{comm:.6e},{comp:.6e},{:.6e}\n", comm + comp));
+        totals.push(comm + comp);
+        comms.push(comm);
+    }
+    println!(
+        "\ncomm speedup l=1 -> l=16: {:.1}x (paper: >4x); total: {:.1}x (paper: >2x)",
+        comms[0] / comms[2],
+        totals[0] / totals[2]
+    );
+    write_csv("fig8_symbolic.csv", &csv);
+}

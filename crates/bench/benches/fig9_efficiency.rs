@@ -1,0 +1,69 @@
+//! Fig. 9: parallel efficiency of BatchedSUMMA3D on the large matrices.
+//!
+//! Paper finding: efficiency stays near (or above, thanks to super-linear
+//! batch-count collapse) 1 for three of the four big matrices; Metaclust50
+//! — the sparsest — drops to ~0.4 at 262K cores because its communication
+//! share (48% vs Isolates' 36% at 4096 nodes) scales worse than compute.
+//! Here: same efficiency computation over 16 → 1024 simulated ranks, plus
+//! the communication-share comparison at the largest scale.
+
+use spgemm_bench::{measure_f64, parallel_efficiency, workloads, write_csv};
+use spgemm_simgrid::Machine;
+use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_sparse::CscMatrix;
+
+const PS: [usize; 4] = [16, 64, 256, 1024];
+const PER_RANK_BYTES: usize = 1 << 20;
+
+fn run_series(a: &CscMatrix<f64>) -> (Vec<f64>, f64) {
+    let mut totals = Vec::new();
+    let mut comm_share_last = 0.0;
+    for &p in &PS {
+        let mut cfg = RunConfig::new(p, 16);
+            cfg.machine = Machine::knl_mini();
+        cfg.budget = MemoryBudget::new(PER_RANK_BYTES * p);
+        let out = measure_f64(&cfg, a, a);
+        totals.push(out.max.total());
+        comm_share_last = out.max.comm_total() / out.max.total();
+    }
+    (totals, comm_share_last)
+}
+
+fn main() {
+    let matrices: Vec<(&str, CscMatrix<f64>)> = vec![
+        ("friendster", workloads::friendster_like(12)),
+        ("isolates-small", workloads::isolates_like(16, 200)),
+        ("isolates", workloads::isolates_like(16, 250)),
+        ("metaclust50", workloads::metaclust_like(32, 125)),
+    ];
+    println!("Fig. 9: parallel efficiency, l=16, b from symbolic\n");
+    print!("{:<16}", "matrix");
+    for p in PS {
+        print!(" {:>10}", format!("p={p}"));
+    }
+    println!(" {:>12}", "comm@max(%)");
+    let mut csv = String::from("matrix,p,efficiency,comm_share_at_max\n");
+    let mut shares = Vec::new();
+    for (label, a) in &matrices {
+        let (totals, comm_share) = run_series(a);
+        let eff = parallel_efficiency(&PS, &totals);
+        print!("{label:<16}");
+        for e in &eff {
+            print!(" {e:>10.2}");
+        }
+        println!(" {:>12.0}", comm_share * 100.0);
+        for (p, e) in PS.iter().zip(&eff) {
+            csv.push_str(&format!("{label},{p},{e:.4},{comm_share:.4}\n"));
+        }
+        shares.push((*label, comm_share, eff[eff.len() - 1]));
+    }
+    write_csv("fig9_efficiency.csv", &csv);
+    let metaclust = shares.iter().find(|s| s.0 == "metaclust50").unwrap();
+    let isolates = shares.iter().find(|s| s.0 == "isolates").unwrap();
+    println!(
+        "\nMetaclust50 comm share {:.0}% vs Isolates {:.0}% at the largest scale \
+         (paper: 48% vs 36%) — the sparser matrix goes communication-bound first.",
+        metaclust.1 * 100.0,
+        isolates.1 * 100.0
+    );
+}

@@ -1,0 +1,60 @@
+//! Table V: statistics of the test matrices — rows, columns, `nnz(A)`,
+//! `nnz(C)`, flops — for every scaled-down workload analogue, in the same
+//! format as the paper's table (plus compression factor).
+//!
+//! This is the calibration sheet for the whole bench suite: it documents
+//! which structural regime each stand-in matrix occupies relative to its
+//! Table V original (`nnz(C) ≫ nnz(A)` for the batching-critical ones,
+//! `nnz(A·Aᵀ) ≈ nnz(A)` for Rice-kmers).
+
+use spgemm_bench::{workloads, write_csv};
+use spgemm_sparse::ops::transpose;
+use spgemm_sparse::spgemm::symbolic_nnz;
+use spgemm_sparse::CscMatrix;
+
+fn row(name: &str, a: &CscMatrix<f64>, aat: bool, csv: &mut String) {
+    let b = if aat { transpose(a) } else { a.clone() };
+    let (nnz_c, stats) = symbolic_nnz(a, &b).expect("symbolic");
+    let op = if aat { "A*A'" } else { "A*A" };
+    println!(
+        "{name:<18} {op:<5} {:>8} {:>8} {:>10} {:>10} {:>12} {:>7.2}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        nnz_c,
+        stats.flops,
+        stats.flops as f64 / nnz_c.max(1) as f64
+    );
+    csv.push_str(&format!(
+        "{name},{op},{},{},{},{nnz_c},{},{:.4}\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        stats.flops,
+        stats.flops as f64 / nnz_c.max(1) as f64
+    ));
+}
+
+fn main() {
+    println!("Table V analogue: statistics of the bench workloads\n");
+    println!(
+        "{:<18} {:<5} {:>8} {:>8} {:>10} {:>10} {:>12} {:>7}",
+        "matrix", "op", "rows", "cols", "nnz(A)", "nnz(C)", "flops", "cf"
+    );
+    let mut csv = String::from("matrix,op,rows,cols,nnz_a,nnz_c,flops,cf\n");
+    row("eukarya-like", &workloads::eukarya_like(), false, &mut csv);
+    row("friendster-like", &workloads::friendster_like(12), false, &mut csv);
+    row("isolates-small", &workloads::isolates_like(16, 200), false, &mut csv);
+    row("isolates-like", &workloads::isolates_like(16, 250), false, &mut csv);
+    row("metaclust50-like", &workloads::metaclust_like(32, 125), false, &mut csv);
+    row("dense-protein", &workloads::dense_protein_like(), false, &mut csv);
+    row("ricekmers-like", &workloads::ricekmers_like(2500), true, &mut csv);
+    row("metaclust20m-like", &workloads::metaclust20m_like(3000), true, &mut csv);
+    println!(
+        "\nPaper Table V for comparison (trillions-scale): Eukarya 3M/360M/2B/134B, \
+         Friendster 66M/3.6B/1T/1.4T, Isolates 70M/68B/984B/301T, \
+         Metaclust50 282M/37B/1T/92T, Rice-kmers 5Mx2B/4.5B/6B/12.4B, \
+         Metaclust20m 20Mx244M/2B/312B/347B."
+    );
+    write_csv("table5_matrices.csv", &csv);
+}

@@ -1,0 +1,92 @@
+//! Shared infrastructure for the paper-reproduction bench harnesses.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper: it builds the scaled-down analogue of the paper's workload
+//! (see [`workloads`]), runs the simulated cluster, prints the same
+//! rows/series the paper reports, and writes a CSV next to the build
+//! artifacts (`target/paper-results/`).
+//!
+//! Scale note: the paper's runs use 4–282 M-row matrices on 16K–262K
+//! cores. The simulator executes every rank for real, so the benches use
+//! matrices and rank counts scaled to a single machine; the *shapes* —
+//! which step dominates, how steps move with `l`, `b`, `p`, who wins and
+//! roughly by what factor — are the reproduction targets, not absolute
+//! seconds. See EXPERIMENTS.md for paper-vs-measured notes per figure.
+
+use spgemm_core::{run_spgemm, RunConfig, RunOutput};
+use spgemm_sparse::semiring::{PlusTimesF64, Semiring};
+use spgemm_sparse::CscMatrix;
+use std::path::PathBuf;
+
+pub mod workloads;
+
+/// Directory where bench harnesses drop their CSV series.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("paper-results");
+    std::fs::create_dir_all(&dir).expect("create paper-results dir");
+    dir
+}
+
+/// Write a CSV artifact and echo its path.
+pub fn write_csv(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, contents).expect("write CSV");
+    println!("[csv] {}", path.display());
+}
+
+/// Run one simulated multiplication, discarding the output (the
+/// memory-constrained application pattern used by most figures).
+pub fn measure<S: Semiring>(cfg: &RunConfig, a: &CscMatrix<S::T>, b: &CscMatrix<S::T>) -> RunOutput<S::T>
+where
+    S::T: Send + Sync,
+{
+    let mut cfg = *cfg;
+    cfg.discard_output = true;
+    run_spgemm::<S>(&cfg, a, b).expect("simulated SpGEMM failed")
+}
+
+/// Shorthand for the common f64 case.
+pub fn measure_f64(cfg: &RunConfig, a: &CscMatrix<f64>, b: &CscMatrix<f64>) -> RunOutput<f64> {
+    measure::<PlusTimesF64>(cfg, a, b)
+}
+
+/// Pretty "speedup arrowheads" like the paper's strong-scaling figures.
+pub fn speedup_arrows(totals: &[f64]) -> String {
+    totals
+        .windows(2)
+        .map(|w| format!("{:.2}x", w[0] / w[1]))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Parallel efficiency `P1·T(P1) / (P2·T(P2))` relative to the first
+/// entry, as in Fig. 9.
+pub fn parallel_efficiency(ps: &[usize], totals: &[f64]) -> Vec<f64> {
+    let (p1, t1) = (ps[0] as f64, totals[0]);
+    ps.iter()
+        .zip(totals.iter())
+        .map(|(&p, &t)| (p1 * t1) / (p as f64 * t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_arrows_format() {
+        assert_eq!(speedup_arrows(&[8.0, 4.0, 1.0]), "2.00x -> 4.00x");
+    }
+
+    #[test]
+    fn efficiency_is_one_for_linear_scaling() {
+        let eff = parallel_efficiency(&[16, 64, 256], &[16.0, 4.0, 1.0]);
+        for e in eff {
+            assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! `spgemm` — command-line driver for the IPDPS 2021 reproduction.
+//!
+//! ```text
+//! spgemm gen      --kind er|rmat|clusters|kmer --out M.mtx [shape options]
+//! spgemm info     --input M.mtx [--square | --aat]
+//! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
+//!                 [--layers L] [--batches B | --budget-mb M]
+//!                 [--kernels new|previous] [--machine knl|haswell|knl-mini|knl-ht]
+//!                 [--batching cyclic|block|balanced] [--trace T.json]
+//!                 [--out C.mtx] [--verify]
+//! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
+//!                 [--select K] [--budget-mb M]
+//! spgemm triangles --input M.mtx --procs P [--layers L]
+//! spgemm overlap  --input M.mtx --procs P [--layers L] [--min-shared S]
+//! ```
+
+mod args;
+
+use args::Args;
+use spgemm_apps::mcl::{markov_cluster, MclParams};
+use spgemm_apps::overlap::{find_overlaps, OverlapConfig};
+use spgemm_apps::triangles::{count_triangles, TriangleConfig};
+use spgemm_core::batched::BatchingStrategy;
+use spgemm_core::{run_spgemm, KernelStrategy, MemoryBudget, RunConfig};
+use spgemm_simgrid::{Machine, StepReport};
+use spgemm_sparse::gen::{clustered_similarity, er_random, kmer_matrix, rmat};
+use spgemm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use spgemm_sparse::ops::transpose;
+use spgemm_sparse::semiring::PlusTimesF64;
+use spgemm_sparse::spgemm::{spgemm_spa, symbolic_nnz};
+use spgemm_sparse::CscMatrix;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv = std::env::args().skip(1);
+    match Args::parse(argv).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with a subcommand: gen | info | multiply | mcl | triangles | overlap");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "multiply" => cmd_multiply(&args),
+        "mcl" => cmd_mcl(&args),
+        "triangles" => cmd_triangles(&args),
+        "overlap" => cmd_overlap(&args),
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+fn machine_by_name(name: &str) -> Result<Machine, String> {
+    match name {
+        "knl" => Ok(Machine::knl()),
+        "haswell" => Ok(Machine::haswell()),
+        "knl-mini" => Ok(Machine::knl_mini()),
+        "knl-ht" => Ok(Machine::knl_hyperthreaded()),
+        other => Err(format!("unknown machine preset: {other}")),
+    }
+}
+
+fn kernels_by_name(name: &str) -> Result<KernelStrategy, String> {
+    match name {
+        "new" => Ok(KernelStrategy::New),
+        "previous" => Ok(KernelStrategy::Previous),
+        other => Err(format!("unknown kernel strategy: {other}")),
+    }
+}
+
+fn load(path: &str) -> Result<CscMatrix<f64>, String> {
+    read_matrix_market_file(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let kind = args.req("kind")?;
+    let out = args.req("out")?.to_string();
+    let seed = args.get_or("seed", 1u64)?;
+    let m: CscMatrix<f64> = match kind {
+        "er" => {
+            let n = args.get_or("n", 1000usize)?;
+            let deg = args.get_or("degree", 8usize)?;
+            er_random::<PlusTimesF64>(n, n, deg, seed)
+        }
+        "rmat" => {
+            let scale = args.get_or("scale", 10u32)?;
+            let ef = args.get_or("edge-factor", 12usize)?;
+            rmat::<PlusTimesF64>(scale, ef, None, true, seed)
+        }
+        "clusters" => {
+            let nclusters = args.get_or("clusters", 8usize)?;
+            let size = args.get_or("cluster-size", 100usize)?;
+            let intra = args.get_or("intra", 12usize)?;
+            let inter = args.get_or("inter", 1usize)?;
+            clustered_similarity(nclusters, size, intra, inter, seed)
+        }
+        "kmer" => {
+            let reads = args.get_or("reads", 1000usize)?;
+            let kmers = args.get_or("kmers", 8000usize)?;
+            let per = args.get_or("reads-per-kmer", 3usize)?;
+            kmer_matrix(reads, kmers, per, seed).map(|v| v as f64)
+        }
+        other => return Err(format!("unknown matrix kind: {other}")),
+    };
+    write_matrix_market_file(&m, Path::new(&out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {}x{} matrix with {} nonzeros to {out}", m.nrows(), m.ncols(), m.nnz());
+    Ok(())
+}
+
+fn operands(args: &Args, a_key: &str) -> Result<(CscMatrix<f64>, CscMatrix<f64>), String> {
+    let a = load(args.req(a_key)?)?;
+    let b = if args.flag("square") {
+        a.clone()
+    } else if args.flag("aat") {
+        transpose(&a)
+    } else if let Some(bp) = args.opt("b") {
+        load(bp)?
+    } else {
+        return Err("need one of --b FILE, --square, or --aat".into());
+    };
+    Ok((a, b))
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let (a, b) = if args.opt("b").is_some() || args.flag("square") || args.flag("aat") {
+        operands(args, "input")?
+    } else {
+        let a = load(args.req("input")?)?;
+        let b = a.clone();
+        (a, b)
+    };
+    let (nnz_c, stats) = symbolic_nnz(&a, &b).map_err(|e| e.to_string())?;
+    // A Table V-style row.
+    println!("rows: {}", a.nrows());
+    println!("columns: {}", a.ncols());
+    println!("nnz(A): {}", a.nnz());
+    println!("nnz(B): {}", b.nnz());
+    println!("nnz(C): {nnz_c}");
+    println!("flops: {}", stats.flops);
+    println!("compression factor: {:.3}", stats.flops as f64 / nnz_c.max(1) as f64);
+    println!(
+        "memory at r=24 B/nnz: inputs {:.2} MB, unmerged output up to {:.2} MB",
+        ((a.nnz() + b.nnz()) * 24) as f64 / 1e6,
+        (stats.flops * 24) as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_multiply(args: &Args) -> Result<(), String> {
+    let (a, b) = operands(args, "a")?;
+    let p = args.get_or("procs", 16usize)?;
+    let layers = args.get_or("layers", 1usize)?;
+    let mut cfg = RunConfig::new(p, layers);
+    cfg.machine = machine_by_name(args.opt("machine").unwrap_or("knl"))?;
+    cfg.kernels = kernels_by_name(args.opt("kernels").unwrap_or("new"))?;
+    cfg.batching = match args.opt("batching").unwrap_or("cyclic") {
+        "cyclic" => BatchingStrategy::BlockCyclic,
+        "block" => BatchingStrategy::Block,
+        "balanced" => BatchingStrategy::Balanced,
+        other => return Err(format!("unknown batching strategy: {other}")),
+    };
+    if let Some(b) = args.opt("batches") {
+        cfg.forced_batches = Some(b.parse().map_err(|_| "bad --batches")?);
+    } else if let Some(mb) = args.opt("budget-mb") {
+        let mb: f64 = mb.parse().map_err(|_| "bad --budget-mb")?;
+        cfg.budget = MemoryBudget::new((mb * 1e6) as usize);
+    }
+    if args.opt("trace").is_some() {
+        cfg.trace = true;
+    }
+    let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(traces)) = (args.opt("trace"), &out.traces) {
+        let json = spgemm_simgrid::chrome_trace_json(traces);
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote Chrome trace to {path}");
+    }
+    let c = out.c.as_ref().expect("product gathered");
+    println!(
+        "C: {}x{} with {} nonzeros, computed in {} batch(es) on a {}x{}x{} grid",
+        c.nrows(),
+        c.ncols(),
+        c.nnz(),
+        out.nbatches,
+        ((p / layers) as f64).sqrt() as usize,
+        ((p / layers) as f64).sqrt() as usize,
+        layers
+    );
+    if let Some(sym) = &out.symbolic {
+        println!(
+            "symbolic: b={} (Eq.2 bound {:?}), flops {}, max unmerged/process {}",
+            sym.batches, sym.eq2_lower_bound, sym.flops, sym.max_unmerged_nnz
+        );
+    }
+    let mut report = StepReport::new();
+    report.push(format!("p={p} l={layers} b={}", out.nbatches), out.max);
+    println!("\nmodeled per-step seconds (max over processes):\n{}", report.to_table());
+    if args.flag("verify") {
+        let (reference, _) = spgemm_spa::<PlusTimesF64>(&a, &b).map_err(|e| e.to_string())?;
+        if c.approx_eq(&reference, 1e-9) {
+            println!("verification against serial reference: OK");
+        } else {
+            return Err("verification FAILED: distributed product differs from serial".into());
+        }
+    }
+    if let Some(path) = args.opt("out") {
+        write_matrix_market_file(c, Path::new(path)).map_err(|e| e.to_string())?;
+        println!("wrote product to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_mcl(args: &Args) -> Result<(), String> {
+    let a = load(args.req("input")?)?;
+    let p = args.get_or("procs", 16usize)?;
+    let mut params = MclParams::new(p, args.get_or("layers", 1usize)?);
+    params.inflation = args.get_or("inflation", 2.0f64)?;
+    params.select = args.get_or("select", 64usize)?;
+    params.max_iters = args.get_or("max-iters", 30usize)?;
+    if let Some(mb) = args.opt("budget-mb") {
+        let mb: f64 = mb.parse().map_err(|_| "bad --budget-mb")?;
+        params.budget = MemoryBudget::new((mb * 1e6) as usize);
+    }
+    let result = markov_cluster(&a, &params).map_err(|e| e.to_string())?;
+    println!("iter  batches  chaos      SpGEMM(s)");
+    for (i, it) in result.per_iter.iter().enumerate() {
+        println!(
+            "{:>4}  {:>7}  {:<9.4} {:.5}",
+            i + 1,
+            it.nbatches,
+            it.chaos,
+            it.breakdown.total()
+        );
+    }
+    let k = spgemm_apps::components::num_clusters(&result.labels);
+    println!("{} clusters after {} iterations", k, result.iterations);
+    if let Some(path) = args.opt("out") {
+        let body: String = result
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(v, c)| format!("{v} {c}\n"))
+            .collect();
+        std::fs::write(path, body).map_err(|e| e.to_string())?;
+        println!("wrote labels to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_triangles(args: &Args) -> Result<(), String> {
+    let a = load(args.req("input")?)?;
+    let adj = a.map(|_| 1u64);
+    let cfg = TriangleConfig::new(args.get_or("procs", 16usize)?, args.get_or("layers", 1usize)?);
+    let (count, breakdown) = count_triangles(&adj, &cfg).map_err(|e| e.to_string())?;
+    println!("{count} triangles (modeled SpGEMM time {:.5}s)", breakdown.total());
+    Ok(())
+}
+
+fn cmd_overlap(args: &Args) -> Result<(), String> {
+    let a = load(args.req("input")?)?;
+    let m = a.map(|_| 1u64);
+    let cfg = OverlapConfig::new(
+        args.get_or("min-shared", 2u64)?,
+        args.get_or("procs", 16usize)?,
+        args.get_or("layers", 1usize)?,
+    );
+    let (pairs, breakdown) = find_overlaps(&m, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} candidate pairs with >= {} shared k-mers (modeled SpGEMM time {:.5}s)",
+        pairs.len(),
+        cfg.min_shared,
+        breakdown.total()
+    );
+    for p in pairs.iter().take(args.get_or("show", 10usize)?) {
+        println!("  {} ~ {} ({} shared)", p.i, p.j, p.shared);
+    }
+    Ok(())
+}

@@ -1,0 +1,396 @@
+//! BatchedSUMMA3D (Alg. 4): memory-constrained 3D SpGEMM.
+//!
+//! The batch count `b` comes from Symbolic3D (or a forced override for
+//! parameter sweeps). Each rank splits its local `B̃` column-wise into `b`
+//! batches — **block-cyclically** with `b·l` blocks of
+//! `n/(b·l·√(p/l))` columns, a batch taking every `b`-th block (Fig. 1(i));
+//! plain block splitting is available as an ablation of the paper's
+//! load-balance argument for Merge-Fiber. One SUMMA3D runs per batch, and
+//! the resulting `C` piece is handed to the application, which may prune,
+//! persist, transform, or discard it before the next batch begins — the
+//! HipMCL/BELLA/hypergraph-coarsening usage pattern the paper targets.
+
+use crate::dist::{CPiece, DistMatrix};
+use crate::kernels::KernelStrategy;
+use crate::memory::{MemTracker, MemoryBudget};
+use crate::summa2d::MergeSchedule;
+use crate::summa3d::summa3d_batch;
+use crate::symbolic::{symbolic3d_with_weights, SymbolicOutcome};
+use crate::{CoreError, Result};
+use spgemm_simgrid::{Grid3D, Rank, Step};
+use spgemm_sparse::ops::{block_range, cyclic_batch_cols, extract_cols};
+use spgemm_sparse::Semiring;
+use std::sync::Arc;
+
+/// How batches partition the columns of `B` (and `C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchingStrategy {
+    /// The paper's block-cyclic split: `b·l` blocks, batch `t` takes every
+    /// `b`-th block — keeps each ColSplit piece inside its layer's
+    /// sub-slice of `C`'s distribution.
+    #[default]
+    BlockCyclic,
+    /// Plain contiguous blocks (ablation baseline; scrambles the output
+    /// distribution — see the fig4 ablation).
+    Block,
+    /// **Extension beyond the paper**: weight-balanced batching. Uses the
+    /// symbolic pass's per-column unmerged counts to cut each layer
+    /// sub-slice into `b` runs of near-equal intermediate volume, so every
+    /// batch costs about the same memory — tightening Alg. 3's even-split
+    /// assumption on skewed matrices while preserving the block-cyclic
+    /// split's distribution conformance.
+    Balanced,
+}
+
+/// Configuration of a batched multiplication.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Local kernel generation (Sec. IV-D).
+    pub kernels: KernelStrategy,
+    /// Batch partitioning scheme.
+    pub batching: BatchingStrategy,
+    /// Aggregate memory budget driving the symbolic batch count.
+    pub budget: MemoryBudget,
+    /// Override the batch count (skips the symbolic step), used by the
+    /// paper's l/b sweeps (Fig. 4).
+    pub forced_batches: Option<usize>,
+    /// When Merge-Layer runs (Sec. III-A ablation).
+    pub merge_schedule: MergeSchedule,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            kernels: KernelStrategy::New,
+            batching: BatchingStrategy::BlockCyclic,
+            budget: MemoryBudget::unlimited(),
+            forced_batches: None,
+            merge_schedule: MergeSchedule::AfterAllStages,
+        }
+    }
+}
+
+/// One batch's output as delivered to the application callback.
+#[derive(Debug)]
+pub struct BatchOutput<T: Copy> {
+    /// Batch index, `0..nbatches`.
+    pub batch: usize,
+    /// Total batch count.
+    pub nbatches: usize,
+    /// This rank's piece of the batch's columns of `C` (sorted columns,
+    /// global coordinates attached).
+    pub piece: CPiece<T>,
+}
+
+/// What the application decided to do with a batch (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDisposition {
+    /// Piece retained (possibly transformed).
+    Kept,
+    /// Piece discarded after inspection (pruned away / persisted
+    /// externally) — the memory-constrained pattern.
+    Discarded,
+}
+
+/// Result of a batched multiplication on one rank.
+#[derive(Debug)]
+pub struct BatchedResult<T: Copy> {
+    /// Pieces the application kept, in batch order.
+    pub pieces: Vec<CPiece<T>>,
+    /// Number of batches executed.
+    pub nbatches: usize,
+    /// Symbolic outcome (absent when the batch count was forced).
+    pub symbolic: Option<SymbolicOutcome>,
+    /// Peak modeled bytes on this rank (inputs + intermediates).
+    pub peak_bytes: usize,
+}
+
+/// One batch's local column selection: the column indices plus the
+/// boundaries at which ColSplit cuts them into `l` fiber pieces
+/// (`piece_offsets.len() == l + 1`, indices into `cols`). Explicit
+/// boundaries let every strategy keep piece `k` inside layer `k`'s
+/// sub-slice of the output distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCols {
+    /// Local column indices of `B̃` in this batch, ascending.
+    pub cols: Vec<usize>,
+    /// ColSplit boundaries into `cols` (length `l + 1`).
+    pub piece_offsets: Vec<usize>,
+}
+
+/// Local column selection of batch `t`. `weights` (per local column; the
+/// symbolic pass's unmerged counts) are required by
+/// [`BatchingStrategy::Balanced`] and ignored otherwise.
+pub fn batch_local_cols(
+    ncols_local: usize,
+    nbatches: usize,
+    l: usize,
+    batch: usize,
+    strategy: BatchingStrategy,
+    weights: Option<&[u64]>,
+) -> BatchCols {
+    match strategy {
+        BatchingStrategy::BlockCyclic => {
+            let cols = cyclic_batch_cols(ncols_local, nbatches, l, batch);
+            // Piece s is block `batch + s·nbatches` of the b·l blocks.
+            let mut piece_offsets = Vec::with_capacity(l + 1);
+            piece_offsets.push(0);
+            let mut acc = 0usize;
+            for s in 0..l {
+                acc += block_range(ncols_local, nbatches * l, batch + s * nbatches).len();
+                piece_offsets.push(acc);
+            }
+            debug_assert_eq!(acc, cols.len());
+            BatchCols { cols, piece_offsets }
+        }
+        BatchingStrategy::Block => {
+            let cols: Vec<usize> = block_range(ncols_local, nbatches, batch).collect();
+            let mut piece_offsets = Vec::with_capacity(l + 1);
+            piece_offsets.push(0);
+            for s in 0..l {
+                piece_offsets.push(block_range(cols.len(), l, s).end);
+            }
+            BatchCols { cols, piece_offsets }
+        }
+        BatchingStrategy::Balanced => {
+            let weights = weights.expect("Balanced batching needs per-column weights");
+            assert_eq!(weights.len(), ncols_local);
+            let mut cols = Vec::new();
+            let mut piece_offsets = Vec::with_capacity(l + 1);
+            piece_offsets.push(0);
+            for s in 0..l {
+                // Within layer sub-slice s, cut columns into `nbatches`
+                // contiguous runs of near-equal total weight and take run
+                // `batch`. Deterministic, identical on every rank that
+                // shares the weights.
+                let slice = block_range(ncols_local, l, s);
+                let total: u64 = weights[slice.clone()].iter().sum();
+                let target = total / nbatches as u64 + 1;
+                let mut run = 0usize; // current run id
+                let mut acc = 0u64;
+                for j in slice.clone() {
+                    if run == batch {
+                        cols.push(j);
+                    }
+                    acc += weights[j];
+                    // Close the run when it reaches its share, keeping at
+                    // least one remaining run per remaining batch.
+                    if acc >= target && run + 1 < nbatches {
+                        run += 1;
+                        acc = 0;
+                    }
+                }
+                piece_offsets.push(cols.len());
+            }
+            BatchCols { cols, piece_offsets }
+        }
+    }
+}
+
+/// Run BatchedSUMMA3D. `on_batch` receives every batch's piece and
+/// returns `Some(piece)` to keep (possibly transformed — e.g. pruned) or
+/// `None` to discard. The returned [`BatchedResult`] collects kept pieces.
+pub fn batched_summa3d<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    b: &DistMatrix<S::T>,
+    cfg: &BatchConfig,
+    mut on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
+) -> Result<BatchedResult<S::T>> {
+    let r = cfg.budget.r;
+    let needs_weights = cfg.batching == BatchingStrategy::Balanced;
+    // Alg. 4 line 2: the symbolic step determines b (unless forced).
+    // Balanced batching needs the symbolic per-column counts either way.
+    let (nbatches, symbolic, local_weights) = match (cfg.forced_batches, needs_weights) {
+        (Some(forced), false) => {
+            if forced == 0 {
+                return Err(CoreError::Config("forced batch count must be ≥ 1".into()));
+            }
+            (forced, None, None)
+        }
+        (forced, _) => {
+            if forced == Some(0) {
+                return Err(CoreError::Config("forced batch count must be ≥ 1".into()));
+            }
+            let (outcome, weights) = symbolic3d_with_weights::<S>(rank, grid, a, b, &cfg.budget)?;
+            let nb = forced.unwrap_or(outcome.batches);
+            let weights = needs_weights.then_some(weights);
+            (nb, Some(outcome), weights)
+        }
+    };
+
+    // Balanced batching must agree across every rank that shares a column
+    // block of B (all i and k for this j): reduce the per-column counts
+    // over that group.
+    let weights = local_weights.map(|mine| {
+        let members: Vec<usize> = (0..grid.l)
+            .flat_map(|k| (0..grid.pr).map(move |i| (i, k)))
+            .map(|(i, k)| grid.rank_of(i, grid.j, k))
+            .collect();
+        let group = rank.comm(members, 0xBA1A);
+        let all = rank.allgather(&group, mine, b.local.ncols() * 8, Step::Other);
+        let mut total = vec![0u64; b.local.ncols()];
+        for contrib in &all {
+            for (t, &c) in total.iter_mut().zip(contrib.iter()) {
+                *t += c;
+            }
+        }
+        total
+    });
+
+    let mut mem = MemTracker::new();
+    mem.alloc(a.local.modeled_bytes(r) + b.local.modeled_bytes(r));
+
+    let a_shared = Arc::new(a.local.clone());
+    let b_col_start = b.col_range(grid).start;
+    let mut pieces = Vec::new();
+
+    // Alg. 4 lines 4–6: split B̃ and multiply batch by batch.
+    for t in 0..nbatches {
+        let batch_cols = batch_local_cols(
+            b.local.ncols(),
+            nbatches,
+            grid.l,
+            t,
+            cfg.batching,
+            weights.as_deref(),
+        );
+        let global_cols: Vec<u32> = batch_cols
+            .cols
+            .iter()
+            .map(|&c| (b_col_start + c) as u32)
+            .collect();
+        let b_piece = Arc::new(extract_cols(&b.local, &batch_cols.cols));
+        let piece = summa3d_batch::<S>(
+            rank,
+            grid,
+            a,
+            &a_shared,
+            &b_piece,
+            &global_cols,
+            &batch_cols.piece_offsets,
+            cfg.kernels,
+            cfg.merge_schedule,
+            r,
+            &mut mem,
+        )?;
+        let piece_bytes = piece.bytes(r);
+        let out = BatchOutput {
+            batch: t,
+            nbatches,
+            piece,
+        };
+        match on_batch(rank, out) {
+            Some(kept) => {
+                mem.free(piece_bytes);
+                mem.alloc(kept.bytes(r));
+                pieces.push(kept);
+            }
+            None => mem.free(piece_bytes),
+        }
+    }
+
+    Ok(BatchedResult {
+        pieces,
+        nbatches,
+        symbolic,
+        peak_bytes: mem.peak(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesF64;
+
+    #[test]
+    fn batch_local_cols_cover_for_all_strategies() {
+        // Synthetic skewed weights for the Balanced strategy.
+        for ncols in [10usize, 17, 64] {
+            let weights: Vec<u64> = (0..ncols as u64).map(|j| 1 + j * j % 37).collect();
+            for strat in [
+                BatchingStrategy::BlockCyclic,
+                BatchingStrategy::Block,
+                BatchingStrategy::Balanced,
+            ] {
+                for nb in [1usize, 3, 5] {
+                    let mut all = Vec::new();
+                    for t in 0..nb {
+                        let bc = batch_local_cols(ncols, nb, 4, t, strat, Some(&weights));
+                        assert_eq!(bc.piece_offsets.len(), 5, "{strat:?}");
+                        assert_eq!(*bc.piece_offsets.last().unwrap(), bc.cols.len());
+                        assert!(bc.piece_offsets.windows(2).all(|w| w[0] <= w[1]));
+                        all.extend(bc.cols);
+                    }
+                    all.sort_unstable();
+                    assert_eq!(all, (0..ncols).collect::<Vec<_>>(), "{strat:?} nb={nb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_batches_balance_colsplit_blocks() {
+        // Under block-cyclic batching, each batch's local columns form l
+        // equal-ish runs, one per layer — so ColSplit pieces are balanced.
+        let (ncols, nb, l) = (64usize, 4usize, 4usize);
+        for t in 0..nb {
+            let bc = batch_local_cols(ncols, nb, l, t, BatchingStrategy::BlockCyclic, None);
+            assert_eq!(bc.cols.len(), ncols / nb);
+            // Runs of consecutive indices: exactly l of them.
+            let runs = bc.cols.windows(2).filter(|w| w[1] != w[0] + 1).count() + 1;
+            assert_eq!(runs, l);
+            // Piece offsets land exactly at the run boundaries.
+            for s in 0..l {
+                let piece = &bc.cols[bc.piece_offsets[s]..bc.piece_offsets[s + 1]];
+                assert!(piece.windows(2).all(|w| w[1] == w[0] + 1), "piece {s} contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_batches_equalize_weight() {
+        // Strongly skewed weights: Balanced must flatten per-batch totals
+        // far below the spread the plain cyclic split leaves.
+        let ncols = 120usize;
+        let (nb, l) = (4usize, 2usize);
+        // A steep ramp: later columns are ~100x heavier than early ones.
+        let weights: Vec<u64> = (0..ncols as u64).map(|j| 1 + j * j).collect();
+        let spread = |strat: BatchingStrategy| {
+            let mut totals = Vec::new();
+            for t in 0..nb {
+                let bc = batch_local_cols(ncols, nb, l, t, strat, Some(&weights));
+                totals.push(bc.cols.iter().map(|&c| weights[c]).sum::<u64>());
+            }
+            let max = *totals.iter().max().unwrap() as f64;
+            let mean = totals.iter().sum::<u64>() as f64 / nb as f64;
+            max / mean
+        };
+        let balanced = spread(BatchingStrategy::Balanced);
+        let block = spread(BatchingStrategy::Block);
+        assert!(
+            balanced < 1.25,
+            "balanced spread should be near 1, got {balanced}"
+        );
+        assert!(
+            block > 2.0,
+            "plain blocks on a ramp should be badly imbalanced, got {block}"
+        );
+        assert!(balanced < block);
+    }
+
+    #[test]
+    fn forced_zero_batches_is_config_error() {
+        // Exercised through the public API in integration tests; here just
+        // the validation arm of the enum.
+        let cfg = BatchConfig {
+            forced_batches: Some(0),
+            ..Default::default()
+        };
+        assert_eq!(cfg.forced_batches, Some(0));
+        // The error surfaces inside batched_summa3d (see harness tests).
+        let _ = er_random::<PlusTimesF64>(4, 4, 1, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! One-call drivers: spawn a virtual cluster, scatter, multiply, gather.
+//!
+//! Tests, examples and the bench harnesses all need the same choreography:
+//! distribute two global matrices per Fig. 1, run BatchedSUMMA3D, collect
+//! per-rank step breakdowns and (optionally) the assembled product. This
+//! module packages that as [`run_spgemm`].
+
+use crate::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
+use crate::summa2d::MergeSchedule;
+use crate::dist::{gather_pieces, scatter, transpose_to_bstyle, DistKind};
+use crate::kernels::KernelStrategy;
+use crate::memory::MemoryBudget;
+use crate::symbolic::SymbolicOutcome;
+use crate::{CoreError, Result};
+use spgemm_simgrid::{max_breakdown, run_ranks, Grid3D, Machine, StepBreakdown};
+use spgemm_sparse::{CscMatrix, Semiring};
+use std::sync::Arc;
+
+/// Full configuration of a simulated distributed SpGEMM run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of simulated processes.
+    pub p: usize,
+    /// Number of grid layers `l` (1 = plain 2D SUMMA behaviour).
+    pub layers: usize,
+    /// Machine cost model.
+    pub machine: Machine,
+    /// Local kernel generation.
+    pub kernels: KernelStrategy,
+    /// Batch partitioning scheme.
+    pub batching: BatchingStrategy,
+    /// Aggregate memory budget (drives the symbolic batch count).
+    pub budget: MemoryBudget,
+    /// Force a batch count, skipping the symbolic step (Fig. 4 sweeps).
+    pub forced_batches: Option<usize>,
+    /// Discard each batch after formation instead of gathering the full
+    /// product (the memory-constrained application pattern). The returned
+    /// `c` is `None`.
+    pub discard_output: bool,
+    /// Record per-rank step timelines for Chrome-trace export
+    /// (`RunOutput::traces`).
+    pub trace: bool,
+    /// When Merge-Layer runs (Sec. III-A ablation; the paper merges after
+    /// all stages).
+    pub merge_schedule: MergeSchedule,
+}
+
+impl RunConfig {
+    /// Defaults: KNL cost model, new kernels, block-cyclic batching,
+    /// unlimited memory, symbolic batch count, keep output.
+    pub fn new(p: usize, layers: usize) -> Self {
+        RunConfig {
+            p,
+            layers,
+            machine: Machine::knl(),
+            kernels: KernelStrategy::New,
+            batching: BatchingStrategy::BlockCyclic,
+            budget: MemoryBudget::unlimited(),
+            forced_batches: None,
+            discard_output: false,
+            trace: false,
+            merge_schedule: MergeSchedule::AfterAllStages,
+        }
+    }
+}
+
+/// Everything a simulated run reports.
+#[derive(Debug)]
+pub struct RunOutput<T: Copy> {
+    /// The assembled product on the (simulated) root, unless
+    /// `discard_output` was set.
+    pub c: Option<CscMatrix<T>>,
+    /// Per-rank modeled step breakdowns, rank order.
+    pub per_rank: Vec<StepBreakdown>,
+    /// Critical-path (max over ranks) breakdown — what the paper plots.
+    pub max: StepBreakdown,
+    /// Number of batches executed.
+    pub nbatches: usize,
+    /// Symbolic outcome (absent when the batch count was forced).
+    pub symbolic: Option<SymbolicOutcome>,
+    /// Per-rank peak modeled bytes.
+    pub peak_bytes: Vec<usize>,
+    /// Per-rank step timelines when `RunConfig::trace` was set; render
+    /// with [`spgemm_simgrid::chrome_trace_json`].
+    pub traces: Option<Vec<Vec<spgemm_simgrid::TraceEvent>>>,
+}
+
+struct PerRank<T: Copy> {
+    breakdown: StepBreakdown,
+    peak: usize,
+    nbatches: usize,
+    symbolic: Option<SymbolicOutcome>,
+    c: Option<CscMatrix<T>>,
+    events: Option<Vec<spgemm_simgrid::TraceEvent>>,
+}
+
+/// Multiply `a · b` on a simulated `p`-rank cluster per `cfg`.
+///
+/// The global inputs live on the simulated root and are distributed per
+/// the paper's Fig. 1 (A-style / B-style). Returns the gathered product
+/// and the modeled per-step timing that the bench harnesses report.
+pub fn run_spgemm<S: Semiring>(
+    cfg: &RunConfig,
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+) -> Result<RunOutput<S::T>> {
+    if a.ncols() != b.nrows() {
+        return Err(CoreError::Config(format!(
+            "inner dimensions differ: A is {}x{}, B is {}x{}",
+            a.nrows(),
+            a.ncols(),
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+    let a_arc = Arc::new(a.clone());
+    let b_arc = Arc::new(b.clone());
+    let (m, n) = (a.nrows(), b.ncols());
+    let cfg_copy = *cfg;
+
+    let results: Vec<Result<PerRank<S::T>>> = run_ranks(cfg.p, cfg.machine, move |rank| {
+        if cfg_copy.trace {
+            rank.clock_mut().enable_tracing();
+        }
+        let grid = Grid3D::new(rank, cfg_copy.layers);
+        let da = scatter(
+            rank,
+            &grid,
+            DistKind::AStyle,
+            (rank.rank() == 0).then(|| Arc::clone(&a_arc)),
+        );
+        let db = scatter(
+            rank,
+            &grid,
+            DistKind::BStyle,
+            (rank.rank() == 0).then(|| Arc::clone(&b_arc)),
+        );
+        let bcfg = BatchConfig {
+            kernels: cfg_copy.kernels,
+            batching: cfg_copy.batching,
+            budget: cfg_copy.budget,
+            forced_batches: cfg_copy.forced_batches,
+            merge_schedule: cfg_copy.merge_schedule,
+        };
+        let discard = cfg_copy.discard_output;
+        let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
+            if discard {
+                None
+            } else {
+                Some(out.piece)
+            }
+        })?;
+        let c = if discard {
+            None
+        } else {
+            gather_pieces(rank, &grid.world, result.pieces, m, n)
+        };
+        Ok(PerRank {
+            breakdown: *rank.clock().breakdown(),
+            peak: result.peak_bytes,
+            nbatches: result.nbatches,
+            symbolic: result.symbolic,
+            c,
+            events: rank.clock().events().map(|e| e.to_vec()),
+        })
+    });
+
+    collect_outputs(cfg, results)
+}
+
+/// Compute `A·Aᵀ` on the simulated cluster: `A` is scattered once and
+/// transposed **in place on the grid** ([`transpose_to_bstyle`]) — the
+/// global transpose never exists, matching how `A·Aᵀ` pipelines (BELLA,
+/// Jaccard, hypergraph coarsening) run at scale.
+pub fn run_spgemm_aat<S: Semiring>(
+    cfg: &RunConfig,
+    a: &CscMatrix<S::T>,
+) -> Result<RunOutput<S::T>> {
+    let a_arc = Arc::new(a.clone());
+    let (m, n) = (a.nrows(), a.nrows());
+    let cfg_copy = *cfg;
+
+    let results: Vec<Result<PerRank<S::T>>> = run_ranks(cfg.p, cfg.machine, move |rank| {
+        if cfg_copy.trace {
+            rank.clock_mut().enable_tracing();
+        }
+        let grid = Grid3D::new(rank, cfg_copy.layers);
+        let da = scatter(
+            rank,
+            &grid,
+            DistKind::AStyle,
+            (rank.rank() == 0).then(|| Arc::clone(&a_arc)),
+        );
+        let db = transpose_to_bstyle(rank, &grid, &da);
+        let bcfg = BatchConfig {
+            kernels: cfg_copy.kernels,
+            batching: cfg_copy.batching,
+            budget: cfg_copy.budget,
+            forced_batches: cfg_copy.forced_batches,
+            merge_schedule: cfg_copy.merge_schedule,
+        };
+        let discard = cfg_copy.discard_output;
+        let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
+            if discard {
+                None
+            } else {
+                Some(out.piece)
+            }
+        })?;
+        let c = if discard {
+            None
+        } else {
+            gather_pieces(rank, &grid.world, result.pieces, m, n)
+        };
+        Ok(PerRank {
+            breakdown: *rank.clock().breakdown(),
+            peak: result.peak_bytes,
+            nbatches: result.nbatches,
+            symbolic: result.symbolic,
+            c,
+            events: rank.clock().events().map(|e| e.to_vec()),
+        })
+    });
+
+    collect_outputs(cfg, results)
+}
+
+/// Multiply with **row-wise batching**: batches select rows of `C` (and
+/// of `A`) instead of columns. The paper (Sec. IV-B) notes column-wise
+/// batching is expensive when `nnz(A) ≫ nnz(B)` — `A` is rebroadcast per
+/// batch — "however, if inputs are square matrices, we can easily use
+/// row-by-row batching on B using the same algorithm". Implemented via
+/// the transpose identity `C = (Bᵀ·Aᵀ)ᵀ`: the heavy operand moves to the
+/// B slot, whose bandwidth cost is batch-count-independent (Table II).
+pub fn run_spgemm_row_batched<S: Semiring>(
+    cfg: &RunConfig,
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+) -> Result<RunOutput<S::T>> {
+    let at = spgemm_sparse::ops::transpose(a);
+    let bt = spgemm_sparse::ops::transpose(b);
+    let mut out = run_spgemm::<S>(cfg, &bt, &at)?;
+    out.c = out.c.map(|ct| spgemm_sparse::ops::transpose(&ct));
+    Ok(out)
+}
+
+fn collect_outputs<T: Copy>(
+    cfg: &RunConfig,
+    results: Vec<Result<PerRank<T>>>,
+) -> Result<RunOutput<T>> {
+    let mut per_rank = Vec::with_capacity(cfg.p);
+    let mut peaks = Vec::with_capacity(cfg.p);
+    let mut c = None;
+    let mut nbatches = 0;
+    let mut symbolic = None;
+    let mut traces = cfg.trace.then(Vec::new);
+    for (i, r) in results.into_iter().enumerate() {
+        let r = r?;
+        per_rank.push(r.breakdown);
+        peaks.push(r.peak);
+        nbatches = r.nbatches;
+        if i == 0 {
+            symbolic = r.symbolic;
+            c = r.c;
+        }
+        if let (Some(ts), Some(ev)) = (traces.as_mut(), r.events) {
+            ts.push(ev);
+        }
+    }
+    let max = max_breakdown(&per_rank);
+    Ok(RunOutput {
+        c,
+        per_rank,
+        max,
+        nbatches,
+        symbolic,
+        peak_bytes: peaks,
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_simgrid::Step;
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::{PlusTimesF64, PlusTimesU64};
+    use spgemm_sparse::spgemm::spgemm_spa;
+
+    #[test]
+    fn tracing_produces_per_rank_timelines() {
+        let a = er_random::<PlusTimesF64>(32, 32, 4, 99);
+        let mut cfg = RunConfig::new(4, 1);
+        cfg.trace = true;
+        cfg.forced_batches = Some(2);
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &a).unwrap();
+        let traces = out.traces.expect("traces requested");
+        assert_eq!(traces.len(), 4);
+        for (rank, t) in traces.iter().enumerate() {
+            assert!(!t.is_empty(), "rank {rank} has no events");
+            // Events are chronological and non-overlapping per rank.
+            for w in t.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-12);
+            }
+        }
+        let json = spgemm_simgrid::chrome_trace_json(&traces);
+        assert!(json.contains("A-Bcast"));
+        // Untraced runs return None.
+        let cfg2 = RunConfig::new(4, 1);
+        assert!(run_spgemm::<PlusTimesF64>(&cfg2, &a, &a).unwrap().traces.is_none());
+    }
+
+    #[test]
+    fn row_batching_equals_column_batching() {
+        // The Sec. IV-B identity: row batches of C via (Bᵀ·Aᵀ)ᵀ.
+        let a = er_random::<PlusTimesU64>(40, 40, 8, 151).map(|_| 1u64); // heavy A
+        let b = er_random::<PlusTimesU64>(40, 40, 2, 152).map(|_| 1u64); // light B
+        let mut cfg = RunConfig::new(16, 4);
+        cfg.forced_batches = Some(4);
+        let col = run_spgemm::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+        let row = run_spgemm_row_batched::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+        assert!(row.c.unwrap().eq_modulo_order(&col.c.unwrap()));
+        // The point of row batching: the heavy operand (A) sits in the
+        // B slot, so its total broadcast volume is b-independent, while
+        // column batching rebroadcasts it every batch.
+        let rebroadcast_col = col.max.secs_of(Step::ABcast);
+        let rebroadcast_row = row.max.secs_of(Step::ABcast);
+        assert!(
+            rebroadcast_row < rebroadcast_col,
+            "row batching should stop rebroadcasting the heavy operand:              {rebroadcast_row} vs {rebroadcast_col}"
+        );
+    }
+
+    #[test]
+    fn batched_equals_serial_across_configs() {
+        let a = er_random::<PlusTimesU64>(60, 60, 5, 51).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(60, 60, 5, 52).map(|_| 1u64);
+        let (reference, _) = spgemm_spa::<PlusTimesU64>(&a, &b).unwrap();
+        for (p, l) in [(4usize, 1usize), (8, 2), (16, 4)] {
+            for nb in [1usize, 2, 5] {
+                for batching in [BatchingStrategy::BlockCyclic, BatchingStrategy::Block] {
+                    let mut cfg = RunConfig::new(p, l);
+                    cfg.forced_batches = Some(nb);
+                    cfg.batching = batching;
+                    let out = run_spgemm::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+                    assert_eq!(out.nbatches, nb);
+                    assert!(
+                        out.c.as_ref().unwrap().eq_modulo_order(&reference),
+                        "p={p} l={l} b={nb} {batching:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_driven_batching_stays_within_budget() {
+        let a = er_random::<PlusTimesF64>(64, 64, 8, 53);
+        let b = er_random::<PlusTimesF64>(64, 64, 8, 54);
+        let p = 4;
+        // Budget: inputs + a fraction of the intermediate size.
+        let inputs_bytes = (a.nnz() + b.nnz()) * 24;
+        let mut cfg = RunConfig::new(p, 1);
+        cfg.budget = MemoryBudget::new(inputs_bytes * 4);
+        cfg.discard_output = true;
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap();
+        assert!(out.nbatches > 1, "tight budget must force batching");
+        let per_proc = cfg.budget.per_process(p);
+        for (rank, &peak) in out.peak_bytes.iter().enumerate() {
+            assert!(
+                peak <= per_proc,
+                "rank {rank} peaked at {peak} bytes over per-process budget {per_proc} \
+                 (b = {})",
+                out.nbatches
+            );
+        }
+    }
+
+    #[test]
+    fn discard_output_returns_no_c() {
+        let a = er_random::<PlusTimesF64>(32, 32, 3, 55);
+        let b = er_random::<PlusTimesF64>(32, 32, 3, 56);
+        let mut cfg = RunConfig::new(4, 1);
+        cfg.discard_output = true;
+        cfg.forced_batches = Some(2);
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap();
+        assert!(out.c.is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_config_error() {
+        let a = er_random::<PlusTimesF64>(10, 12, 2, 57);
+        let b = er_random::<PlusTimesF64>(10, 10, 2, 58);
+        let cfg = RunConfig::new(4, 1);
+        assert!(matches!(
+            run_spgemm::<PlusTimesF64>(&cfg, &a, &b),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn forced_zero_batches_rejected() {
+        let a = er_random::<PlusTimesF64>(16, 16, 2, 59);
+        let mut cfg = RunConfig::new(4, 1);
+        cfg.forced_batches = Some(0);
+        assert!(matches!(
+            run_spgemm::<PlusTimesF64>(&cfg, &a, &a),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn more_batches_increase_abcast_not_bbcast() {
+        // The Fig. 4 signature: A-Bcast grows ~linearly with b; B-Bcast's
+        // bandwidth term is b-independent. The claim concerns the
+        // bandwidth-dominated regime of the paper's machines, so use a
+        // machine with negligible latency (toy-scale payloads would
+        // otherwise be latency-bound and both broadcasts would scale with
+        // b's round count).
+        let a = er_random::<PlusTimesF64>(96, 96, 8, 60);
+        let b = er_random::<PlusTimesF64>(96, 96, 8, 61);
+        let run = |nb: usize| {
+            let mut cfg = RunConfig::new(16, 4);
+            cfg.machine.alpha = 1e-12;
+            cfg.forced_batches = Some(nb);
+            run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap().max
+        };
+        let b1 = run(1);
+        let b8 = run(8);
+        assert!(
+            b8.secs_of(Step::ABcast) > 4.0 * b1.secs_of(Step::ABcast),
+            "A-Bcast should grow ~8x: {} -> {}",
+            b1.secs_of(Step::ABcast),
+            b8.secs_of(Step::ABcast)
+        );
+        let bb_ratio = b8.secs_of(Step::BBcast) / b1.secs_of(Step::BBcast);
+        assert!(
+            bb_ratio < 3.0,
+            "B-Bcast should grow only via latency, got ratio {bb_ratio}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Local kernel strategies: the *previous generation* (sorted, heap/hybrid
+//! — CombBLAS SUMMA3D \[13\] with the hybrid kernel of \[25\]) versus
+//! **this paper's** sort-free unsorted-hash pipeline (Sec. IV-D).
+//!
+//! The strategy decides three things at once, because sortedness must be
+//! consistent across the pipeline: how Local-Multiply forms columns, how
+//! Merge-Layer combines stage outputs, and how Merge-Fiber combines layer
+//! pieces. Under `Previous` every intermediate stays sorted; under `New`
+//! only the final Merge-Fiber output is sorted.
+
+use spgemm_sparse::merge::{merge_hash_sorted, merge_hash_unsorted, merge_heap};
+use spgemm_sparse::spgemm::{spgemm_hash_unsorted, spgemm_hybrid};
+use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
+
+/// Which local-kernel generation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelStrategy {
+    /// Prior work \[13, 25\]: hybrid (hash-or-heap) sorted SpGEMM,
+    /// heap-based merging, everything kept sorted.
+    Previous,
+    /// This paper: unsorted-hash SpGEMM and hash merging; only the final
+    /// Merge-Fiber output is sorted.
+    #[default]
+    New,
+}
+
+impl KernelStrategy {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelStrategy::Previous => "previous(heap/hybrid,sorted)",
+            KernelStrategy::New => "new(unsorted-hash)",
+        }
+    }
+
+    /// Local-Multiply: one SUMMA stage's `Ã_recv · B̃_recv`.
+    pub fn local_multiply<S: Semiring>(
+        self,
+        a: &CscMatrix<S::T>,
+        b: &CscMatrix<S::T>,
+    ) -> spgemm_sparse::Result<(CscMatrix<S::T>, WorkStats)> {
+        match self {
+            KernelStrategy::Previous => spgemm_hybrid::<S>(a, b),
+            KernelStrategy::New => spgemm_hash_unsorted::<S>(a, b),
+        }
+    }
+
+    /// Merge-Layer: combine the per-stage partial products within a layer.
+    pub fn merge_layer<S: Semiring>(
+        self,
+        parts: &[CscMatrix<S::T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<S::T>, WorkStats)> {
+        match self {
+            KernelStrategy::Previous => merge_heap::<S>(parts),
+            KernelStrategy::New => merge_hash_unsorted::<S>(parts),
+        }
+    }
+
+    /// Merge-Fiber: combine the per-layer pieces. Both strategies produce
+    /// sorted output here — the final matrix is conventionally sorted
+    /// (Sec. IV-D keeps exactly this one result sorted).
+    pub fn merge_fiber<S: Semiring>(
+        self,
+        parts: &[CscMatrix<S::T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<S::T>, WorkStats)> {
+        match self {
+            KernelStrategy::Previous => merge_heap::<S>(parts),
+            KernelStrategy::New => merge_hash_sorted::<S>(parts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesU64;
+
+    #[test]
+    fn strategies_agree_on_products() {
+        let a = er_random::<PlusTimesU64>(50, 50, 5, 1).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(50, 50, 5, 2).map(|_| 1u64);
+        let (c_prev, _) = KernelStrategy::Previous.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+        let (c_new, _) = KernelStrategy::New.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+        assert!(c_prev.eq_modulo_order(&c_new));
+        assert!(c_prev.is_sorted(), "previous keeps intermediates sorted");
+    }
+
+    #[test]
+    fn strategies_agree_on_merges() {
+        let parts: Vec<_> = (0..4)
+            .map(|s| er_random::<PlusTimesU64>(40, 20, 3, 10 + s).map(|_| 1u64))
+            .collect();
+        let (m_prev, _) = KernelStrategy::Previous.merge_layer::<PlusTimesU64>(&parts).unwrap();
+        let (m_new, _) = KernelStrategy::New.merge_layer::<PlusTimesU64>(&parts).unwrap();
+        assert!(m_prev.eq_modulo_order(&m_new));
+        let (f_prev, _) = KernelStrategy::Previous.merge_fiber::<PlusTimesU64>(&parts).unwrap();
+        let (f_new, _) = KernelStrategy::New.merge_fiber::<PlusTimesU64>(&parts).unwrap();
+        assert!(f_prev.eq_modulo_order(&f_new));
+        assert!(f_new.is_sorted(), "final merge-fiber output must be sorted");
+        assert!(f_prev.is_sorted());
+    }
+
+    #[test]
+    fn new_pipeline_consumes_its_own_unsorted_output() {
+        // Merge-layer of unsorted local products must work (heap merge
+        // would reject them) — the crux of the sort-free pipeline.
+        let a = er_random::<PlusTimesU64>(60, 60, 6, 3).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(60, 60, 6, 4).map(|_| 1u64);
+        let (c1, _) = KernelStrategy::New.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+        let (c2, _) = KernelStrategy::New.local_multiply::<PlusTimesU64>(&b, &a).unwrap();
+        let (merged, _) = KernelStrategy::New.merge_layer::<PlusTimesU64>(&[c1, c2]).unwrap();
+        assert!(merged.nnz() > 0);
+    }
+}

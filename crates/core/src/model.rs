@@ -1,0 +1,331 @@
+//! Analytic cost model: the paper's Table II (communication) and
+//! Table III (computation) evaluated for arbitrary problem and machine
+//! parameters.
+//!
+//! Used two ways by the bench harnesses:
+//!
+//! * **Validation** — compare the simulator's measured communication
+//!   volumes/rounds against the closed-form totals at matching `(p, l, b)`
+//!   (`table2_comm_model`, `table3_comp_model`).
+//! * **Projection** — evaluate the formulas at the paper's extreme scales
+//!   (up to `p = 16384` processes / 262,144 cores), where simulating every
+//!   rank is impractical but the model still tells the Table II story.
+
+use spgemm_simgrid::Machine;
+
+/// Problem and grid parameters for the closed-form model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProblemModel {
+    /// Global `nnz(A)`.
+    pub nnz_a: u64,
+    /// Global `nnz(B)`.
+    pub nnz_b: u64,
+    /// Total multiplication count.
+    pub flops: u64,
+    /// Processes.
+    pub p: usize,
+    /// Layers.
+    pub l: usize,
+    /// Batches.
+    pub b: usize,
+    /// Bytes per nonzero.
+    pub r: usize,
+}
+
+/// Latency / bandwidth split of a step's total modeled cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepCost {
+    /// Seconds attributable to the α (latency) term.
+    pub latency_s: f64,
+    /// Seconds attributable to the β (bandwidth) term.
+    pub bandwidth_s: f64,
+}
+
+impl StepCost {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.latency_s + self.bandwidth_s
+    }
+}
+
+impl ProblemModel {
+    fn sqrt_pl(&self) -> f64 {
+        ((self.p / self.l) as f64).sqrt()
+    }
+
+    /// Per-process data of one A-Broadcast, bytes (Table II row 1).
+    pub fn abcast_bytes_per_proc(&self) -> f64 {
+        self.r as f64 * self.nnz_a as f64 / self.p as f64
+    }
+
+    /// Total A-Broadcast cost over the whole run:
+    /// performed `b·√(p/l)` times with communicator size `√(p/l)`.
+    /// Total latency `α·b·√(p/l)·lg(p/l)`, total bandwidth
+    /// `β·b·r·nnz(A)/√(pl)`.
+    pub fn abcast_total(&self, m: &Machine) -> StepCost {
+        let s = self.sqrt_pl();
+        StepCost {
+            latency_s: m.alpha * self.b as f64 * s * ((self.p / self.l).max(2) as f64).log2(),
+            bandwidth_s: m.beta * self.b as f64 * self.r as f64 * self.nnz_a as f64
+                / ((self.p * self.l) as f64).sqrt(),
+        }
+    }
+
+    /// Per-process data of one B-Broadcast, bytes: `r·nnz(B)/(b·p)`.
+    pub fn bbcast_bytes_per_proc(&self) -> f64 {
+        self.r as f64 * self.nnz_b as f64 / (self.b * self.p) as f64
+    }
+
+    /// Total B-Broadcast cost: same round count as A-Broadcast, but total
+    /// bandwidth `β·r·nnz(B)/√(pl)` — independent of `b` (Table II).
+    pub fn bbcast_total(&self, m: &Machine) -> StepCost {
+        let s = self.sqrt_pl();
+        StepCost {
+            latency_s: m.alpha * self.b as f64 * s * ((self.p / self.l).max(2) as f64).log2(),
+            bandwidth_s: m.beta * self.r as f64 * self.nnz_b as f64
+                / ((self.p * self.l) as f64).sqrt(),
+        }
+    }
+
+    /// Total AllToAll-Fiber cost: `b` rounds of size-`l` exchanges; total
+    /// latency `α·b·l`, total bandwidth `β·r·flops/p` (the paper notes the
+    /// flops bound is loose — intra-layer compression shrinks it).
+    pub fn alltoall_fiber_total(&self, m: &Machine) -> StepCost {
+        StepCost {
+            latency_s: m.alpha * (self.b * self.l) as f64,
+            bandwidth_s: m.beta * self.r as f64 * self.flops as f64 / self.p as f64,
+        }
+    }
+
+    /// Total communication rounds each process participates in, by step —
+    /// `(A-Bcast, B-Bcast, AllToAll-Fiber)`; Table II's "how many times"
+    /// row. Exact for divisible grids.
+    pub fn rounds(&self) -> (u64, u64, u64) {
+        let s = self.sqrt_pl() as u64;
+        (self.b as u64 * s, self.b as u64 * s, self.b as u64)
+    }
+
+    /// Table III: Local-Multiply total work `flops/p` per process (work
+    /// units; multiply by a machine's seconds-per-unit for time).
+    pub fn local_multiply_work_per_proc(&self) -> f64 {
+        self.flops as f64 / self.p as f64
+    }
+
+    /// Table III: Merge-Layer total work `(flops/p)·lg(p/l)` per process.
+    pub fn merge_layer_work_per_proc(&self) -> f64 {
+        self.flops as f64 / self.p as f64 * ((self.p / self.l).max(2) as f64).log2()
+    }
+
+    /// Table III: Merge-Fiber total work `(flops/p)·lg(l)` per process.
+    pub fn merge_fiber_work_per_proc(&self) -> f64 {
+        self.flops as f64 / self.p as f64 * (self.l.max(2) as f64).log2()
+    }
+
+    /// Predicted end-to-end modeled time: Table II communication plus
+    /// Table III computation under `m`'s machine constants, using this
+    /// crate's hash-kernel work model (flops-proportional multiply and
+    /// merges; the heap generation would add the Table III `lg` factors).
+    ///
+    /// The bandwidth terms are upper bounds (the AllToAll term uses the
+    /// paper's loose `flops/p`), so the prediction brackets the simulator
+    /// from above on uniform matrices — validated in tests and in the
+    /// `table2_comm_model` bench.
+    pub fn predict_total(&self, m: &Machine) -> f64 {
+        let comm = self.abcast_total(m).total()
+            + self.bbcast_total(m).total()
+            + self.alltoall_fiber_total(m).total();
+        let comp_units = self.local_multiply_work_per_proc()
+            + self.flops as f64 / self.p as f64 // hash merge-layer ~ volume
+            + self.flops as f64 / self.p as f64; // hash merge-fiber ~ volume
+        comm + m.compute_secs(comp_units)
+    }
+
+    /// Strong-scaling projection: evaluate [`ProblemModel::predict_total`]
+    /// across process counts, holding the problem fixed and letting the
+    /// batch count follow `b(p) = ⌈b₁·p₁/p⌉` (aggregate memory grows with
+    /// `p`, so batches shrink inversely — the paper's Fig. 6/7 mechanism).
+    pub fn strong_scaling_projection(
+        &self,
+        m: &Machine,
+        ps: &[usize],
+    ) -> Vec<(usize, usize, f64)> {
+        let (p1, b1) = (self.p, self.b);
+        ps.iter()
+            .map(|&p| {
+                let b = ((b1 * p1).div_ceil(p)).max(1);
+                let pm = ProblemModel { p, b, ..*self };
+                (p, b, pm.predict_total(m))
+            })
+            .collect()
+    }
+
+    /// Render the Table II analytic rows for this configuration.
+    pub fn table2_rows(&self, m: &Machine) -> String {
+        let a = self.abcast_total(m);
+        let bb = self.bbcast_total(m);
+        let f = self.alltoall_fiber_total(m);
+        let (ra, rb, rf) = self.rounds();
+        format!(
+            "step,rounds,latency_s,bandwidth_s,total_s\n\
+             A-Bcast,{ra},{:.6e},{:.6e},{:.6e}\n\
+             B-Bcast,{rb},{:.6e},{:.6e},{:.6e}\n\
+             AllToAll-Fiber,{rf},{:.6e},{:.6e},{:.6e}\n",
+            a.latency_s,
+            a.bandwidth_s,
+            a.total(),
+            bb.latency_s,
+            bb.bandwidth_s,
+            bb.total(),
+            f.latency_s,
+            f.bandwidth_s,
+            f.total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ProblemModel {
+        ProblemModel {
+            nnz_a: 1_000_000,
+            nnz_b: 1_000_000,
+            flops: 50_000_000,
+            p: 1024,
+            l: 16,
+            b: 8,
+            r: 24,
+        }
+    }
+
+    #[test]
+    fn abcast_bandwidth_scales_with_b() {
+        let m = Machine::knl();
+        let pm1 = ProblemModel { b: 1, ..base() };
+        let pm8 = ProblemModel { b: 8, ..base() };
+        let r = pm8.abcast_total(&m).bandwidth_s / pm1.abcast_total(&m).bandwidth_s;
+        assert!((r - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbcast_bandwidth_independent_of_b() {
+        let m = Machine::knl();
+        let pm1 = ProblemModel { b: 1, ..base() };
+        let pm8 = ProblemModel { b: 8, ..base() };
+        assert_eq!(
+            pm1.bbcast_total(&m).bandwidth_s,
+            pm8.bbcast_total(&m).bandwidth_s
+        );
+        // ... but latency grows with b.
+        assert!(pm8.bbcast_total(&m).latency_s > pm1.bbcast_total(&m).latency_s);
+    }
+
+    #[test]
+    fn abcast_bandwidth_falls_as_sqrt_l() {
+        // Fig. 5's law: 4x the layers halves A-Bcast bandwidth time.
+        let m = Machine::knl();
+        let l1 = ProblemModel { l: 1, ..base() };
+        let l4 = ProblemModel { l: 4, ..base() };
+        let ratio = l1.abcast_total(&m).bandwidth_s / l4.abcast_total(&m).bandwidth_s;
+        assert!((ratio - 2.0).abs() < 1e-9, "expected 2.0, got {ratio}");
+    }
+
+    #[test]
+    fn alltoall_latency_grows_with_l_and_b() {
+        let m = Machine::knl();
+        let small = ProblemModel { l: 4, b: 2, ..base() };
+        let big = ProblemModel { l: 16, b: 8, ..base() };
+        assert!(big.alltoall_fiber_total(&m).latency_s > small.alltoall_fiber_total(&m).latency_s);
+    }
+
+    #[test]
+    fn merge_work_reflects_log_factors() {
+        let pm = base();
+        assert!(pm.merge_layer_work_per_proc() > pm.local_multiply_work_per_proc());
+        // p/l = 64 -> lg = 6; l = 16 -> lg = 4.
+        let ratio = pm.merge_layer_work_per_proc() / pm.merge_fiber_work_per_proc();
+        assert!((ratio - 6.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_total_is_positive_and_layering_helps_when_comm_bound() {
+        let m = Machine::knl();
+        // Communication-heavy: low flops relative to nnz.
+        let comm_bound = ProblemModel {
+            nnz_a: 50_000_000,
+            nnz_b: 50_000_000,
+            flops: 60_000_000,
+            p: 4096,
+            l: 1,
+            b: 8,
+            r: 24,
+        };
+        let t1 = comm_bound.predict_total(&m);
+        let t16 = ProblemModel { l: 16, ..comm_bound }.predict_total(&m);
+        assert!(t1 > 0.0 && t16 > 0.0);
+        assert!(t16 < t1, "layering should help a comm-bound problem: {t16} vs {t1}");
+    }
+
+    #[test]
+    fn strong_scaling_projection_shrinks_batches_and_time() {
+        let m = Machine::knl();
+        let pm = ProblemModel {
+            nnz_a: 1_000_000_000,
+            nnz_b: 1_000_000_000,
+            flops: 500_000_000_000,
+            p: 1024,
+            l: 16,
+            b: 64,
+            r: 24,
+        };
+        let proj = pm.strong_scaling_projection(&m, &[1024, 4096, 16384]);
+        assert_eq!(proj[0].1, 64);
+        assert_eq!(proj[1].1, 16);
+        assert_eq!(proj[2].1, 4);
+        assert!(proj.windows(2).all(|w| w[1].2 < w[0].2), "{proj:?}");
+    }
+
+    #[test]
+    fn prediction_brackets_simulation_from_above() {
+        use crate::{run_spgemm, RunConfig};
+        use spgemm_sparse::gen::er_random;
+        use spgemm_sparse::semiring::PlusTimesF64;
+        use spgemm_sparse::spgemm::symbolic_nnz;
+
+        let a = er_random::<PlusTimesF64>(512, 512, 8, 0xB0);
+        let (_, stats) = symbolic_nnz(&a, &a).unwrap();
+        let (p, l, b) = (64usize, 4usize, 4usize);
+        let mut cfg = RunConfig::new(p, l);
+        cfg.forced_batches = Some(b);
+        cfg.discard_output = true;
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &a).unwrap();
+        let pm = ProblemModel {
+            nnz_a: a.nnz() as u64,
+            nnz_b: a.nnz() as u64,
+            flops: stats.flops,
+            p,
+            l,
+            b,
+            r: 24,
+        };
+        let predicted = pm.predict_total(&cfg.machine);
+        let simulated = out.max.total();
+        assert!(
+            predicted >= simulated * 0.8,
+            "prediction {predicted} should bracket simulation {simulated} from above \
+             (bandwidth terms are upper bounds)"
+        );
+        assert!(
+            predicted <= simulated * 50.0,
+            "prediction {predicted} should stay within an order or so of simulation {simulated}"
+        );
+    }
+
+    #[test]
+    fn table2_rows_render() {
+        let s = base().table2_rows(&Machine::knl());
+        assert!(s.contains("A-Bcast"));
+        assert_eq!(s.lines().count(), 4);
+    }
+}

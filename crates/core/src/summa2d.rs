@@ -1,0 +1,348 @@
+//! 2D sparse SUMMA (Alg. 1), as executed inside one layer of the 3D grid.
+//!
+//! Proceeds in `pr` stages. At stage `s`, process `(i, s, k)` broadcasts
+//! its local `Ã` along the process row and `(s, j, k)` broadcasts its
+//! local `B̃` (restricted to the current batch's columns) along the
+//! process column; every process multiplies the received pieces and
+//! stores the partial product. After all stages the partials are merged
+//! (Merge-Layer). With `l = 1` this *is* the complete 2D algorithm; with
+//! `l > 1` it produces the layer's intermediate `D̃⁽ᵏ⁾` for
+//! [`crate::summa3d`] to reduce across fibers.
+
+use crate::dist::DistMatrix;
+use crate::kernels::KernelStrategy;
+use crate::memory::MemTracker;
+use crate::Result;
+use spgemm_simgrid::{Grid3D, Rank, Step};
+use spgemm_sparse::{CscMatrix, Semiring};
+use std::sync::Arc;
+
+/// When Merge-Layer runs relative to the SUMMA stages (Sec. III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeSchedule {
+    /// The paper's choice: keep every stage's partial and merge once after
+    /// all stages — cheapest merge work (each element is merged once) at
+    /// the cost of holding all unmerged partials simultaneously.
+    #[default]
+    AfterAllStages,
+    /// Merge each stage's partial into a running accumulator as it is
+    /// produced — lower peak memory (at most two partials resident), but
+    /// accumulated elements are re-merged at every subsequent stage, which
+    /// "is computationally more expensive in the worst case" \[34\].
+    Incremental,
+}
+
+/// One layer's SUMMA2D: returns the merged layer product `D̃⁽ᵏ⁾`
+/// (rows: `A`'s row block `i`; columns: the batch's local columns).
+///
+/// `a_local` must be shared as an `Arc` by the caller so repeated batches
+/// don't re-clone it. `b_batch` is this rank's B piece for the current
+/// batch. The modeled clock of `rank` is advanced per step; `mem` tracks
+/// the modeled footprint of the intermediates.
+#[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + matrices + policies
+pub fn summa2d_layer<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    a_shared: &Arc<CscMatrix<S::T>>,
+    b_batch: &Arc<CscMatrix<S::T>>,
+    strategy: KernelStrategy,
+    schedule: MergeSchedule,
+    r: usize,
+    mem: &mut MemTracker,
+) -> Result<CscMatrix<S::T>> {
+    let stages = grid.pr;
+    let mut partials: Vec<CscMatrix<S::T>> = Vec::with_capacity(stages);
+    let mut partial_bytes = 0usize;
+    let mut running: Option<CscMatrix<S::T>> = None;
+
+    for s in 0..stages {
+        // A-Broadcast along the process row: root is column s of the row.
+        let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
+        let a_bytes = a.local.modeled_bytes(r);
+        let a_recv = rank.bcast(&grid.row, s, a_payload, a_bytes, Step::ABcast);
+
+        // B-Broadcast along the process column: root is row s of the column.
+        let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
+        let b_bytes = b_batch.modeled_bytes(r);
+        let b_recv = rank.bcast(&grid.col, s, b_payload, b_bytes, Step::BBcast);
+
+        debug_assert_eq!(
+            a_recv.ncols(),
+            b_recv.nrows(),
+            "stage {s}: A column slice and B row slice must conform \
+             (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
+
+        // Local-Multiply.
+        let (partial, stats) = strategy.local_multiply::<S>(&a_recv, &b_recv)?;
+        rank.compute(Step::LocalMultiply, stats.work_units);
+
+        match schedule {
+            MergeSchedule::AfterAllStages => {
+                // Store the stage's partial for one merge at the end
+                // (merging incrementally is costlier in the worst case;
+                // the paper merges once after all stages — Sec. III-A).
+                partial_bytes += partial.modeled_bytes(r);
+                mem.alloc(partial.modeled_bytes(r));
+                partials.push(partial);
+            }
+            MergeSchedule::Incremental => {
+                mem.alloc(partial.modeled_bytes(r));
+                match running.take() {
+                    None => running = Some(partial),
+                    Some(acc) => {
+                        let in_bytes = acc.modeled_bytes(r) + partial.modeled_bytes(r);
+                        let (merged, mstats) =
+                            strategy.merge_layer::<S>(&[acc, partial])?;
+                        rank.compute(Step::MergeLayer, mstats.work_units);
+                        mem.free(in_bytes);
+                        mem.alloc(merged.modeled_bytes(r));
+                        running = Some(merged);
+                    }
+                }
+            }
+        }
+    }
+
+    match schedule {
+        MergeSchedule::AfterAllStages => {
+            // Merge-Layer: combine the per-stage partials. Footprint model
+            // follows Alg. 3's accounting: the budgeted high-water mark is
+            // the *unmerged* residency (inputs + stage partials); merging
+            // is modeled as streaming (inputs released column-by-column as
+            // they are consumed), so the merged output replaces rather
+            // than stacks on the partials.
+            let (merged, stats) = strategy.merge_layer::<S>(&partials)?;
+            rank.compute(Step::MergeLayer, stats.work_units);
+            mem.free(partial_bytes);
+            mem.alloc(merged.modeled_bytes(r));
+            Ok(merged)
+        }
+        MergeSchedule::Incremental => {
+            Ok(running.unwrap_or_else(|| {
+                CscMatrix::zero(a.local.nrows(), b_batch.ncols())
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{gather_pieces, scatter, CPiece, DistKind};
+    use spgemm_simgrid::{run_ranks, Machine};
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::{PlusTimesF64, PlusTimesU64};
+    use spgemm_sparse::spgemm::spgemm_spa;
+
+    /// Run pure 2D SUMMA (l = 1) and gather the product on rank 0.
+    fn run_summa2d<S: Semiring>(
+        p: usize,
+        a_global: CscMatrix<S::T>,
+        b_global: CscMatrix<S::T>,
+        strategy: KernelStrategy,
+    ) -> CscMatrix<S::T>
+    where
+        S::T: Send + Sync,
+    {
+        run_summa2d_sched::<S>(p, a_global, b_global, strategy, MergeSchedule::AfterAllStages)
+    }
+
+    fn run_summa2d_sched<S: Semiring>(
+        p: usize,
+        a_global: CscMatrix<S::T>,
+        b_global: CscMatrix<S::T>,
+        strategy: KernelStrategy,
+        schedule: MergeSchedule,
+    ) -> CscMatrix<S::T>
+    where
+        S::T: Send + Sync,
+    {
+        let (m, n) = (a_global.nrows(), b_global.ncols());
+        let results = run_ranks(p, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let a = scatter(
+                rank,
+                &grid,
+                DistKind::AStyle,
+                (rank.rank() == 0).then(|| Arc::new(a_global.clone())),
+            );
+            let b = scatter(
+                rank,
+                &grid,
+                DistKind::BStyle,
+                (rank.rank() == 0).then(|| Arc::new(b_global.clone())),
+            );
+            let a_shared = Arc::new(a.local.clone());
+            let b_shared = Arc::new(b.local.clone());
+            let mut mem = MemTracker::new();
+            let mut d =
+                summa2d_layer::<S>(rank, &grid, &a, &a_shared, &b_shared, strategy, schedule, 24, &mut mem)
+                    .expect("summa2d failed");
+            d.sort_columns();
+            let piece = CPiece {
+                local: d,
+                row_offset: a.row_range(&grid).start,
+                global_cols: b.col_range(&grid).map(|c| c as u32).collect(),
+            };
+            gather_pieces(rank, &grid.world, vec![piece], m, n)
+        });
+        results.into_iter().next().unwrap().expect("root gathers C")
+    }
+
+    #[test]
+    fn summa2d_matches_serial_u64() {
+        let a = er_random::<PlusTimesU64>(48, 48, 5, 1).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(48, 48, 5, 2).map(|_| 1u64);
+        let (reference, _) = spgemm_spa::<PlusTimesU64>(&a, &b).unwrap();
+        for p in [1usize, 4, 9, 16] {
+            for strat in [KernelStrategy::New, KernelStrategy::Previous] {
+                let c = run_summa2d::<PlusTimesU64>(p, a.clone(), b.clone(), strat);
+                assert!(
+                    c.eq_modulo_order(&reference),
+                    "p={p} strategy={}",
+                    strat.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summa2d_rectangular_and_awkward_sizes() {
+        // Dimensions not divisible by the grid side.
+        let a = er_random::<PlusTimesU64>(37, 23, 4, 3).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(23, 31, 4, 4).map(|_| 1u64);
+        let (reference, _) = spgemm_spa::<PlusTimesU64>(&a, &b).unwrap();
+        let c = run_summa2d::<PlusTimesU64>(9, a, b, KernelStrategy::New);
+        assert!(c.eq_modulo_order(&reference));
+    }
+
+    #[test]
+    fn summa2d_float_matches_serial() {
+        let a = er_random::<PlusTimesF64>(40, 40, 4, 5);
+        let b = er_random::<PlusTimesF64>(40, 40, 4, 6);
+        let (reference, _) = spgemm_spa::<PlusTimesF64>(&a, &b).unwrap();
+        let c = run_summa2d::<PlusTimesF64>(4, a, b, KernelStrategy::New);
+        assert!(c.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn incremental_merge_schedule_is_correct() {
+        let a = er_random::<PlusTimesU64>(48, 48, 5, 61).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(48, 48, 5, 62).map(|_| 1u64);
+        let (reference, _) = spgemm_spa::<PlusTimesU64>(&a, &b).unwrap();
+        for strat in [KernelStrategy::New, KernelStrategy::Previous] {
+            let c = run_summa2d_sched::<PlusTimesU64>(
+                9,
+                a.clone(),
+                b.clone(),
+                strat,
+                MergeSchedule::Incremental,
+            );
+            assert!(c.eq_modulo_order(&reference), "strategy={}", strat.name());
+        }
+    }
+
+    #[test]
+    fn incremental_merge_trades_memory_for_work() {
+        // The Sec. III-A trade-off: incremental merging holds at most two
+        // partials (lower peak) but re-merges accumulated elements every
+        // stage (more Merge-Layer work).
+        let a = er_random::<PlusTimesF64>(96, 96, 8, 63);
+        let run = |schedule: MergeSchedule| {
+            let a = a.clone();
+            let results = run_ranks(16, Machine::knl(), move |rank| {
+                let grid = Grid3D::new(rank, 1);
+                let da = scatter(
+                    rank,
+                    &grid,
+                    DistKind::AStyle,
+                    (rank.rank() == 0).then(|| Arc::new(a.clone())),
+                );
+                let db = scatter(
+                    rank,
+                    &grid,
+                    DistKind::BStyle,
+                    (rank.rank() == 0).then(|| Arc::new(a.clone())),
+                );
+                let a_shared = Arc::new(da.local.clone());
+                let b_shared = Arc::new(db.local.clone());
+                let mut mem = MemTracker::new();
+                summa2d_layer::<PlusTimesF64>(
+                    rank,
+                    &grid,
+                    &da,
+                    &a_shared,
+                    &b_shared,
+                    KernelStrategy::New,
+                    schedule,
+                    24,
+                    &mut mem,
+                )
+                .unwrap();
+                (mem.peak(), rank.clock().breakdown().secs_of(Step::MergeLayer))
+            });
+            let peak = results.iter().map(|&(p, _)| p).max().unwrap();
+            let merge: f64 = results.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+            (peak, merge)
+        };
+        let (peak_all, merge_all) = run(MergeSchedule::AfterAllStages);
+        let (peak_inc, merge_inc) = run(MergeSchedule::Incremental);
+        assert!(
+            peak_inc < peak_all,
+            "incremental should lower the peak: {peak_inc} vs {peak_all}"
+        );
+        assert!(
+            merge_inc > merge_all,
+            "incremental should cost more merge work: {merge_inc} vs {merge_all}"
+        );
+    }
+
+    #[test]
+    fn summa2d_clock_accounts_all_steps() {
+        let a = er_random::<PlusTimesF64>(32, 32, 4, 7);
+        let b = er_random::<PlusTimesF64>(32, 32, 4, 8);
+        let breakdowns = run_ranks(4, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let a = scatter(
+                rank,
+                &grid,
+                DistKind::AStyle,
+                (rank.rank() == 0).then(|| Arc::new(a.clone())),
+            );
+            let b = scatter(
+                rank,
+                &grid,
+                DistKind::BStyle,
+                (rank.rank() == 0).then(|| Arc::new(b.clone())),
+            );
+            let a_shared = Arc::new(a.local.clone());
+            let b_shared = Arc::new(b.local.clone());
+            let mut mem = MemTracker::new();
+            summa2d_layer::<PlusTimesF64>(
+                rank,
+                &grid,
+                &a,
+                &a_shared,
+                &b_shared,
+                KernelStrategy::New,
+                MergeSchedule::AfterAllStages,
+                24,
+                &mut mem,
+            )
+            .unwrap();
+            *rank.clock().breakdown()
+        });
+        for b in &breakdowns {
+            assert!(b.secs_of(Step::ABcast) > 0.0);
+            assert!(b.secs_of(Step::BBcast) > 0.0);
+            assert!(b.secs_of(Step::LocalMultiply) > 0.0);
+            assert!(b.secs_of(Step::MergeLayer) > 0.0);
+            assert_eq!(b.secs_of(Step::AllToAllFiber), 0.0);
+        }
+    }
+}

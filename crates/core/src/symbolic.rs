@@ -1,0 +1,311 @@
+//! Symbolic3D (Alg. 3): determine the number of batches `b`.
+//!
+//! A structure-only sweep with the same communication pattern as one full
+//! (un-batched) SUMMA2D per layer: broadcast `Ã` and `B̃` per stage, run
+//! `LocalSymbolic` to count how many nonzeros the numeric stage *would*
+//! produce, and accumulate the per-process **unmerged** total (the sum
+//! over stages is exactly what must be resident before Merge-Layer — the
+//! memory high-water mark the batch count must control).
+//!
+//! The final reduction takes the **maximum** per-process count (line 9) so
+//! that no process exhausts its budget even under load imbalance: as the
+//! paper notes, Symbolic3D deliberately over-batches for imbalanced
+//! matrices relative to the perfectly-balanced Eq. 2 bound.
+
+use crate::dist::DistMatrix;
+use crate::memory::MemoryBudget;
+use crate::{CoreError, Result};
+use spgemm_simgrid::{Grid3D, Rank, Step};
+use spgemm_sparse::spgemm::symbolic::symbolic_col_counts;
+use spgemm_sparse::Semiring;
+use std::sync::Arc;
+
+/// Everything the symbolic step learns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolicOutcome {
+    /// The batch count Alg. 3 line 12 computes (≥ 1).
+    pub batches: usize,
+    /// Maximum per-process unmerged intermediate nonzeros (`maxnnzC`).
+    pub max_unmerged_nnz: u64,
+    /// Total unmerged intermediate nonzeros across processes
+    /// (`Σₖ nnz(D⁽ᵏ⁾)` plus intra-stage duplication; the paper's
+    /// `mem(C)/r`).
+    pub total_unmerged_nnz: u64,
+    /// Maximum per-process `nnz(Ã)`.
+    pub max_nnz_a: u64,
+    /// Maximum per-process `nnz(B̃)`.
+    pub max_nnz_b: u64,
+    /// Global `nnz(A)` / `nnz(B)` (sums).
+    pub total_nnz_a: u64,
+    /// Global `nnz(B)`.
+    pub total_nnz_b: u64,
+    /// Total multiplication count (the paper's `flops`).
+    pub flops: u64,
+    /// Eq. 2's analytic lower bound on `b` under perfect balance
+    /// (`None` when the inputs alone exceed the budget).
+    pub eq2_lower_bound: Option<usize>,
+    /// Largest unmerged intermediate of any *single output column* on any
+    /// process. Column-wise batching cannot split below one column, so
+    /// this drives the upper bound on what batching can achieve: if even
+    /// one column's intermediate exceeds the leftover per-process memory,
+    /// no batch count is feasible (the paper's contribution 3 discusses
+    /// both bounds on `b`).
+    pub max_col_unmerged_nnz: u64,
+    /// The number of batches beyond which batching cannot be refined
+    /// (one column per batch): `ncols(B)`.
+    pub upper_bound: usize,
+}
+
+/// Run Symbolic3D and compute the batch count for `budget`.
+///
+/// Fails with [`CoreError::InputsExceedMemory`] when even `b → ∞` cannot
+/// fit (Alg. 3's denominator is non-positive), which is exactly the regime
+/// where the paper's premise `M > nnz(A) + nnz(B)` is violated.
+pub fn symbolic3d<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    b: &DistMatrix<S::T>,
+    budget: &MemoryBudget,
+) -> Result<SymbolicOutcome> {
+    symbolic3d_with_weights::<S>(rank, grid, a, b, budget).map(|(o, _)| o)
+}
+
+/// [`symbolic3d`] plus this rank's per-local-column unmerged intermediate
+/// counts (the weights that drive
+/// [`crate::batched::BatchingStrategy::Balanced`] batching).
+pub fn symbolic3d_with_weights<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    b: &DistMatrix<S::T>,
+    budget: &MemoryBudget,
+) -> Result<(SymbolicOutcome, Vec<u64>)> {
+    let stages = grid.pr;
+    let a_shared = Arc::new(a.local.clone());
+    let b_shared = Arc::new(b.local.clone());
+    let r = budget.r;
+
+    // Per-stage symbolic products, accumulated *unmerged* (Alg. 3 line 8),
+    // plus the per-output-column accumulation that determines batching
+    // feasibility (a batch cannot contain less than one column).
+    let mut my_unmerged: u64 = 0;
+    let mut my_flops: u64 = 0;
+    let mut my_col_unmerged: Vec<u64> = vec![0; b.local.ncols()];
+    for s in 0..stages {
+        let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(&a_shared));
+        let a_recv = rank.bcast(
+            &grid.row,
+            s,
+            a_payload,
+            a.local.modeled_bytes(r),
+            Step::SymbolicComm,
+        );
+        let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(&b_shared));
+        let b_recv = rank.bcast(
+            &grid.col,
+            s,
+            b_payload,
+            b.local.modeled_bytes(r),
+            Step::SymbolicComm,
+        );
+        let (counts, stats) = symbolic_col_counts(&*a_recv, &*b_recv)?;
+        rank.compute(Step::SymbolicComp, stats.work_units);
+        my_unmerged += stats.nnz_out;
+        my_flops += stats.flops;
+        for (acc, c) in my_col_unmerged.iter_mut().zip(counts.iter()) {
+            *acc += c;
+        }
+    }
+    let my_max_col = my_col_unmerged.iter().copied().max().unwrap_or(0);
+
+    // Global reductions (Alg. 3 lines 9–11) plus the sums needed for the
+    // Eq. 2 bound and the cost-model validation.
+    let world = &grid.world;
+    let max_u64: fn(u64, u64) -> u64 = |x, y| x.max(y);
+    let sum_u64: fn(u64, u64) -> u64 = |x, y| x + y;
+    let max_unmerged = rank.allreduce(world, my_unmerged, max_u64, 8, Step::SymbolicComm);
+    let total_unmerged = rank.allreduce(world, my_unmerged, sum_u64, 8, Step::SymbolicComm);
+    let max_nnz_a = rank.allreduce(world, a.local.nnz() as u64, max_u64, 8, Step::SymbolicComm);
+    let max_nnz_b = rank.allreduce(world, b.local.nnz() as u64, max_u64, 8, Step::SymbolicComm);
+    let total_nnz_a = rank.allreduce(world, a.local.nnz() as u64, sum_u64, 8, Step::SymbolicComm);
+    let total_nnz_b = rank.allreduce(world, b.local.nnz() as u64, sum_u64, 8, Step::SymbolicComm);
+    let flops = rank.allreduce(world, my_flops, sum_u64, 8, Step::SymbolicComm);
+    let max_col_unmerged = rank.allreduce(world, my_max_col, max_u64, 8, Step::SymbolicComm);
+
+    // Alg. 3 line 12: b = r·maxnnzC / (M/p − r·(maxnnzA + maxnnzB)).
+    let per_proc = budget.per_process(grid.p());
+    let input_bytes = r * (max_nnz_a + max_nnz_b) as usize;
+    if per_proc <= input_bytes {
+        return Err(CoreError::InputsExceedMemory {
+            needed_bytes: input_bytes,
+            budget_bytes: per_proc,
+        });
+    }
+    let denom = per_proc - input_bytes;
+    // Upper-bound feasibility: column-wise batching cannot split a single
+    // output column, so its intermediate must fit in the leftover memory.
+    if r as u64 * max_col_unmerged > denom as u64 {
+        return Err(CoreError::BatchingInfeasible {
+            column_bytes: r * max_col_unmerged as usize,
+            available_bytes: denom,
+        });
+    }
+    let batches = ((r as u64 * max_unmerged).div_ceil(denom as u64) as usize)
+        .clamp(1, b.gcols.max(1));
+
+    let eq2_lower_bound = budget.eq2_lower_bound(
+        r * total_unmerged as usize,
+        total_nnz_a as usize,
+        total_nnz_b as usize,
+    );
+
+    Ok((
+        SymbolicOutcome {
+            batches,
+            max_unmerged_nnz: max_unmerged,
+            total_unmerged_nnz: total_unmerged,
+            max_nnz_a,
+            max_nnz_b,
+            total_nnz_a,
+            total_nnz_b,
+            flops,
+            eq2_lower_bound,
+            max_col_unmerged_nnz: max_col_unmerged,
+            upper_bound: b.gcols.max(1),
+        },
+        my_col_unmerged,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{scatter, DistKind};
+    use spgemm_simgrid::{run_ranks, Machine};
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesF64;
+    use spgemm_sparse::spgemm::symbolic_nnz;
+    use spgemm_sparse::CscMatrix;
+
+    fn symbolic_on_grid(
+        p: usize,
+        l: usize,
+        a: CscMatrix<f64>,
+        b: CscMatrix<f64>,
+        budget: MemoryBudget,
+    ) -> Vec<Result<SymbolicOutcome>> {
+        run_ranks(p, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, l);
+            let da = scatter(
+                rank,
+                &grid,
+                DistKind::AStyle,
+                (rank.rank() == 0).then(|| Arc::new(a.clone())),
+            );
+            let db = scatter(
+                rank,
+                &grid,
+                DistKind::BStyle,
+                (rank.rank() == 0).then(|| Arc::new(b.clone())),
+            );
+            symbolic3d::<PlusTimesF64>(rank, &grid, &da, &db, &budget)
+        })
+    }
+
+    #[test]
+    fn all_ranks_agree_on_outcome() {
+        let a = er_random::<PlusTimesF64>(48, 48, 6, 31);
+        let b = er_random::<PlusTimesF64>(48, 48, 6, 32);
+        let outcomes = symbolic_on_grid(8, 2, a, b, MemoryBudget::new(24 * 100_000));
+        let first = outcomes[0].clone().unwrap();
+        for o in &outcomes {
+            assert_eq!(o.clone().unwrap(), first);
+        }
+        assert_eq!(first.batches, 1, "huge budget needs one batch");
+    }
+
+    #[test]
+    fn flops_match_serial_count() {
+        let a = er_random::<PlusTimesF64>(40, 40, 5, 33);
+        let b = er_random::<PlusTimesF64>(40, 40, 5, 34);
+        let (_, serial) = symbolic_nnz(&a, &b).unwrap();
+        for (p, l) in [(4, 1), (8, 2), (16, 4)] {
+            let outcomes = symbolic_on_grid(p, l, a.clone(), b.clone(), MemoryBudget::unlimited());
+            let o = outcomes[0].clone().unwrap();
+            assert_eq!(o.flops, serial.flops, "p={p} l={l}: distributed flops must be exact");
+        }
+    }
+
+    #[test]
+    fn tighter_budget_means_more_batches() {
+        let a = er_random::<PlusTimesF64>(64, 64, 8, 35);
+        let b = er_random::<PlusTimesF64>(64, 64, 8, 36);
+        let loose = symbolic_on_grid(4, 1, a.clone(), b.clone(), MemoryBudget::new(24 * 1_000_000))[0]
+            .clone()
+            .unwrap();
+        let inputs = (a.nnz() + b.nnz()) * 24;
+        let tight = symbolic_on_grid(4, 1, a, b, MemoryBudget::new(inputs * 4 + 4096))[0]
+            .clone()
+            .unwrap();
+        assert!(tight.batches > loose.batches, "{} vs {}", tight.batches, loose.batches);
+    }
+
+    #[test]
+    fn exact_b_at_least_eq2_bound() {
+        // The max-based Alg. 3 count dominates the perfectly-balanced
+        // analytic bound.
+        let a = er_random::<PlusTimesF64>(60, 60, 7, 37);
+        let b = er_random::<PlusTimesF64>(60, 60, 7, 38);
+        let inputs = (a.nnz() + b.nnz()) * 24;
+        for (p, l) in [(4, 1), (16, 4)] {
+            let o = symbolic_on_grid(p, l, a.clone(), b.clone(), MemoryBudget::new(inputs * 3))[0]
+                .clone()
+                .unwrap();
+            let bound = o.eq2_lower_bound.expect("inputs fit");
+            assert!(
+                o.batches >= bound,
+                "p={p} l={l}: exact b {} below Eq. 2 bound {bound}",
+                o.batches
+            );
+        }
+    }
+
+    #[test]
+    fn inputs_exceeding_memory_is_an_error() {
+        let a = er_random::<PlusTimesF64>(32, 32, 6, 39);
+        let b = er_random::<PlusTimesF64>(32, 32, 6, 40);
+        let res = symbolic_on_grid(4, 1, a, b, MemoryBudget::new(64));
+        assert!(matches!(
+            res[0],
+            Err(CoreError::InputsExceedMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn symbolic_step_records_comm_and_comp() {
+        let a = er_random::<PlusTimesF64>(32, 32, 4, 41);
+        let b = er_random::<PlusTimesF64>(32, 32, 4, 42);
+        let breakdowns = run_ranks(4, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let da = scatter(
+                rank,
+                &grid,
+                DistKind::AStyle,
+                (rank.rank() == 0).then(|| Arc::new(a.clone())),
+            );
+            let db = scatter(
+                rank,
+                &grid,
+                DistKind::BStyle,
+                (rank.rank() == 0).then(|| Arc::new(b.clone())),
+            );
+            symbolic3d::<PlusTimesF64>(rank, &grid, &da, &db, &MemoryBudget::unlimited()).unwrap();
+            *rank.clock().breakdown()
+        });
+        for bd in &breakdowns {
+            assert!(bd.secs_of(Step::SymbolicComm) > 0.0);
+            assert!(bd.secs_of(Step::SymbolicComp) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-rank modeled clocks with per-step accounting.
+//!
+//! The paper instruments seven major steps of BatchedSUMMA3D (Sec. IV-B):
+//! Symbolic, A-Broadcast, B-Broadcast, Local-Multiply, Merge-Layer,
+//! AllToAll-Fiber and Merge-Fiber. [`Step`] adds a split of Symbolic into
+//! its communication and computation parts (needed for Fig. 8) and an
+//! `Other` bucket for harness overhead (scatter/gather) that the paper
+//! excludes from its plots.
+
+/// A timed step of the distributed algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Step {
+    /// Symbolic step, communication part (broadcasts inside Alg. 3).
+    SymbolicComm = 0,
+    /// Symbolic step, local counting part (`LocalSymbolic`).
+    SymbolicComp = 1,
+    /// Broadcast of `A` pieces along process rows.
+    ABcast = 2,
+    /// Broadcast of `B` pieces along process columns.
+    BBcast = 3,
+    /// Local multiplication (one per SUMMA stage).
+    LocalMultiply = 4,
+    /// Merging the per-stage partial products inside a layer.
+    MergeLayer = 5,
+    /// All-to-all exchange along fibers (one per batch).
+    AllToAllFiber = 6,
+    /// Merging the per-layer pieces received on the fiber.
+    MergeFiber = 7,
+    /// Harness overhead outside the algorithm proper (scatter, gather,
+    /// verification); excluded from paper-style reports.
+    Other = 8,
+    /// Time spent waiting for the slowest participant at collective entry.
+    /// Kept separate so that load-imbalance skew does not pollute the α–β
+    /// cost of whichever collective happens to come next (at miniature
+    /// scale the skew is comparatively much larger than at the paper's
+    /// payload sizes, where it vanishes inside the bandwidth terms).
+    /// Counted in totals: it is real critical-path time.
+    Wait = 9,
+}
+
+/// Number of [`Step`] variants.
+pub const N_STEPS: usize = 10;
+
+/// All steps in display order.
+pub const ALL_STEPS: [Step; N_STEPS] = [
+    Step::SymbolicComm,
+    Step::SymbolicComp,
+    Step::ABcast,
+    Step::BBcast,
+    Step::LocalMultiply,
+    Step::MergeLayer,
+    Step::AllToAllFiber,
+    Step::MergeFiber,
+    Step::Other,
+    Step::Wait,
+];
+
+impl Step {
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Step::SymbolicComm => "Symbolic-Comm",
+            Step::SymbolicComp => "Symbolic-Comp",
+            Step::ABcast => "A-Bcast",
+            Step::BBcast => "B-Bcast",
+            Step::LocalMultiply => "Local-Multiply",
+            Step::MergeLayer => "Merge-Layer",
+            Step::AllToAllFiber => "AllToAll-Fiber",
+            Step::MergeFiber => "Merge-Fiber",
+            Step::Other => "Other",
+            Step::Wait => "Wait",
+        }
+    }
+
+    /// Steps the paper counts as communication.
+    pub fn is_communication(self) -> bool {
+        matches!(
+            self,
+            Step::SymbolicComm | Step::ABcast | Step::BBcast | Step::AllToAllFiber
+        )
+    }
+}
+
+/// Modeled seconds, communicated bytes, and message counts per step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepBreakdown {
+    /// Modeled seconds per step.
+    pub secs: [f64; N_STEPS],
+    /// Modeled bytes moved per step (received side for collectives).
+    pub bytes: [u64; N_STEPS],
+    /// Collective/message rounds per step.
+    pub msgs: [u64; N_STEPS],
+}
+
+impl StepBreakdown {
+    /// Seconds attributed to `step`.
+    pub fn secs_of(&self, step: Step) -> f64 {
+        self.secs[step as usize]
+    }
+
+    /// Total modeled seconds over algorithm steps (excludes `Other`).
+    pub fn total(&self) -> f64 {
+        ALL_STEPS
+            .iter()
+            .filter(|&&s| s != Step::Other)
+            .map(|&s| self.secs[s as usize])
+            .sum()
+    }
+
+    /// Total modeled seconds over communication steps.
+    pub fn comm_total(&self) -> f64 {
+        ALL_STEPS
+            .iter()
+            .filter(|&&s| s.is_communication())
+            .map(|&s| self.secs[s as usize])
+            .sum()
+    }
+
+    /// Total modeled seconds over local-computation steps (excludes
+    /// `Other` and `Wait`: waiting is neither computing nor communicating).
+    pub fn comp_total(&self) -> f64 {
+        [
+            Step::SymbolicComp,
+            Step::LocalMultiply,
+            Step::MergeLayer,
+            Step::MergeFiber,
+        ]
+        .iter()
+        .map(|&s| self.secs[s as usize])
+        .sum()
+    }
+
+    /// Elementwise max — used when reducing across ranks.
+    pub fn max_with(&mut self, other: &StepBreakdown) {
+        for i in 0..N_STEPS {
+            self.secs[i] = self.secs[i].max(other.secs[i]);
+            self.bytes[i] = self.bytes[i].max(other.bytes[i]);
+            self.msgs[i] = self.msgs[i].max(other.msgs[i]);
+        }
+    }
+}
+
+/// The modeled clock of one simulated rank.
+#[derive(Debug, Clone, Default)]
+pub struct RankClock {
+    now: f64,
+    breakdown: StepBreakdown,
+    /// Recorded spans when tracing is enabled (see [`crate::trace`]).
+    events: Option<Vec<crate::trace::TraceEvent>>,
+}
+
+impl RankClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current modeled time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Per-step accounting so far.
+    pub fn breakdown(&self) -> &StepBreakdown {
+        &self.breakdown
+    }
+
+    /// Enable per-span tracing (for Chrome trace export).
+    pub fn enable_tracing(&mut self) {
+        self.events.get_or_insert_with(Vec::new);
+    }
+
+    /// Recorded spans, if tracing was enabled.
+    pub fn events(&self) -> Option<&[crate::trace::TraceEvent]> {
+        self.events.as_deref()
+    }
+
+    fn record_event(&mut self, step: Step, start: f64, end: f64) {
+        if let Some(events) = &mut self.events {
+            if end > start {
+                events.push(crate::trace::TraceEvent { step, start, end });
+            }
+        }
+    }
+
+    /// Advance by `dt` seconds of local work attributed to `step`.
+    pub fn advance(&mut self, step: Step, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time step: {dt}");
+        let start = self.now;
+        self.now += dt;
+        self.breakdown.secs[step as usize] += dt;
+        self.record_event(step, start, self.now);
+    }
+
+    /// Jump to absolute time `t` (≥ now), attributing the elapsed span to
+    /// `step`. Used by collectives: the span covers both waiting for the
+    /// slowest participant and the op cost itself, matching how per-step
+    /// wall-clock timers behave in a real MPI code.
+    pub fn advance_to(&mut self, step: Step, t: f64) {
+        if t > self.now {
+            self.breakdown.secs[step as usize] += t - self.now;
+            let start = self.now;
+            self.now = t;
+            self.record_event(step, start, t);
+        }
+    }
+
+    /// Record `bytes` moved and one message round under `step`.
+    pub fn record_comm(&mut self, step: Step, bytes: u64, msgs: u64) {
+        self.breakdown.bytes[step as usize] += bytes;
+        self.breakdown.msgs[step as usize] += msgs;
+    }
+
+    /// Reset time and accounting (between repetitions in a harness).
+    pub fn reset(&mut self) {
+        *self = RankClock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates_per_step() {
+        let mut c = RankClock::new();
+        c.advance(Step::LocalMultiply, 1.0);
+        c.advance(Step::LocalMultiply, 2.0);
+        c.advance(Step::ABcast, 0.5);
+        assert_eq!(c.now(), 3.5);
+        assert_eq!(c.breakdown().secs_of(Step::LocalMultiply), 3.0);
+        assert_eq!(c.breakdown().secs_of(Step::ABcast), 0.5);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut c = RankClock::new();
+        c.advance(Step::Other, 2.0);
+        c.advance_to(Step::BBcast, 5.0);
+        assert_eq!(c.now(), 5.0);
+        assert_eq!(c.breakdown().secs_of(Step::BBcast), 3.0);
+        c.advance_to(Step::BBcast, 1.0); // in the past: no-op
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn totals_exclude_other() {
+        let mut c = RankClock::new();
+        c.advance(Step::Other, 100.0);
+        c.advance(Step::ABcast, 1.0);
+        c.advance(Step::LocalMultiply, 2.0);
+        let b = c.breakdown();
+        assert_eq!(b.total(), 3.0);
+        assert_eq!(b.comm_total(), 1.0);
+        assert_eq!(b.comp_total(), 2.0);
+    }
+
+    #[test]
+    fn comm_classification_matches_paper() {
+        assert!(Step::ABcast.is_communication());
+        assert!(Step::BBcast.is_communication());
+        assert!(Step::AllToAllFiber.is_communication());
+        assert!(Step::SymbolicComm.is_communication());
+        assert!(!Step::LocalMultiply.is_communication());
+        assert!(!Step::MergeLayer.is_communication());
+        assert!(!Step::MergeFiber.is_communication());
+    }
+
+    #[test]
+    fn max_with_takes_elementwise_max() {
+        let mut a = StepBreakdown::default();
+        a.secs[0] = 1.0;
+        a.bytes[1] = 10;
+        let mut b = StepBreakdown::default();
+        b.secs[0] = 0.5;
+        b.bytes[1] = 20;
+        a.max_with(&b);
+        assert_eq!(a.secs[0], 1.0);
+        assert_eq!(a.bytes[1], 20);
+    }
+}

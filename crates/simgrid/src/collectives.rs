@@ -1,0 +1,412 @@
+//! MPI-style collectives with modeled-time accounting.
+//!
+//! Every collective does three things:
+//!
+//! 1. **Synchronizes modeled clocks**: all participants jump to the maximum
+//!    entry time (a collective cannot complete before its slowest member
+//!    arrives). The wait is attributed to the collective's [`Step`], the
+//!    same way per-step wall-clock timers behave in an MPI code.
+//! 2. **Moves the data for real** over the in-memory channels (broadcast
+//!    payloads travel as `Arc`s — the zero-copy analogue of shared-memory
+//!    transport; receivers treat them as read-only, as MPI receivers do).
+//! 3. **Advances the clock** by the α–β cost of the operation
+//!    (see [`crate::cost::Machine`]) and records modeled bytes/messages.
+//!
+//! Payload sizes are always passed explicitly in *modeled bytes* (the
+//! paper's `r` bytes per nonzero), decoupling the simulator from any
+//! particular matrix representation.
+
+use crate::clock::Step;
+use crate::comm::{Comm, Rank};
+use std::sync::Arc;
+
+/// Phases within one collective op (sub-tags under one sequence number).
+const PH_SYNC_UP: u64 = 0;
+const PH_SYNC_DOWN: u64 = 1;
+const PH_DATA: u64 = 2;
+
+fn tag(seq: u64, phase: u64) -> u64 {
+    seq * 8 + phase
+}
+
+#[allow(clippy::needless_range_loop)] // recv loops skip `me`; index form is clearer
+impl Rank {
+    /// Clock synchronization: everyone jumps to the max entry time.
+    /// Implemented with real messages but zero modeled cost (the cost of
+    /// the enclosing collective covers it). The waiting span is attributed
+    /// to [`Step::Wait`] — see that variant's docs. Returns the
+    /// synchronized time.
+    fn sync_clocks(&mut self, comm: &Comm, seq: u64, _step: Step) -> f64 {
+        let q = comm.size();
+        if q == 1 {
+            return self.clock().now();
+        }
+        let me = comm.my_index();
+        let t = if me == 0 {
+            let mut t = self.clock().now();
+            for i in 1..q {
+                let ti: f64 = self.recv(comm, i, tag(seq, PH_SYNC_UP));
+                t = t.max(ti);
+            }
+            for i in 1..q {
+                self.send(comm, i, tag(seq, PH_SYNC_DOWN), t);
+            }
+            t
+        } else {
+            self.send(comm, 0, tag(seq, PH_SYNC_UP), self.clock().now());
+            self.recv::<f64>(comm, 0, tag(seq, PH_SYNC_DOWN))
+        };
+        self.clock_mut().advance_to(Step::Wait, t);
+        t
+    }
+
+    /// Broadcast `value` (present on `root` only) to every member.
+    ///
+    /// `bytes` is the modeled payload size; only the **root's** value is
+    /// used (it travels with the payload), so receivers need not know the
+    /// size in advance — exactly like the size embedded in an MPI bcast of
+    /// a serialized sparse matrix. Returns the shared payload.
+    pub fn bcast<T: Send + Sync + 'static>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        value: Option<Arc<T>>,
+        bytes: usize,
+        step: Step,
+    ) -> Arc<T> {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let me = comm.my_index();
+        let (out, bytes) = if me == root {
+            let v = value.expect("bcast root must supply the payload");
+            for i in 0..q {
+                if i != root {
+                    self.send(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
+                }
+            }
+            (v, bytes)
+        } else {
+            assert!(value.is_none(), "non-root rank supplied a bcast payload");
+            let (v, b) = self.recv::<(Arc<T>, u64)>(comm, root, tag(seq, PH_DATA));
+            (v, b as usize)
+        };
+        let cost = self.machine().bcast_secs(q, bytes);
+        self.clock_mut().advance_to(step, t0 + cost);
+        self.clock_mut().record_comm(step, bytes as u64, 1);
+        out
+    }
+
+    /// Allreduce with a commutative-associative combiner.
+    pub fn allreduce<T: Send + Copy + 'static>(
+        &mut self,
+        comm: &Comm,
+        value: T,
+        op: fn(T, T) -> T,
+        bytes: usize,
+        step: Step,
+    ) -> T {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let me = comm.my_index();
+        let result = if me == 0 {
+            let mut acc = value;
+            for i in 1..q {
+                let vi: T = self.recv(comm, i, tag(seq, PH_DATA));
+                acc = op(acc, vi);
+            }
+            for i in 1..q {
+                self.send(comm, i, tag(seq, PH_DATA + 1), acc);
+            }
+            acc
+        } else {
+            self.send(comm, 0, tag(seq, PH_DATA), value);
+            self.recv::<T>(comm, 0, tag(seq, PH_DATA + 1))
+        };
+        let cost = self.machine().allreduce_secs(q, bytes);
+        self.clock_mut().advance_to(step, t0 + cost);
+        self.clock_mut().record_comm(step, bytes as u64, 1);
+        result
+    }
+
+    /// Allgather: every member contributes one value; all receive the full
+    /// vector in member-index order. `bytes_each` models each contribution.
+    pub fn allgather<T: Send + Clone + 'static>(
+        &mut self,
+        comm: &Comm,
+        value: T,
+        bytes_each: usize,
+        step: Step,
+    ) -> Vec<T> {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let me = comm.my_index();
+        for i in 0..q {
+            if i != me {
+                self.send(comm, i, tag(seq, PH_DATA), value.clone());
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
+        out[me] = Some(value);
+        for i in 0..q {
+            if i != me {
+                out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+            }
+        }
+        let cost = self.machine().allgather_secs(q, bytes_each);
+        self.clock_mut().advance_to(step, t0 + cost);
+        self.clock_mut()
+            .record_comm(step, (bytes_each * (q - 1)) as u64, 1);
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// All-to-all with per-destination payloads: `parts[i]` goes to member
+    /// `i` (our own slot comes back unchanged). `bytes[i]` models
+    /// `parts[i]`'s size. The modeled cost uses the *heaviest* sender's
+    /// total volume — this is what makes Merge-Fiber load imbalance visible
+    /// and motivates the paper's block-cyclic batch splitting.
+    pub fn alltoallv<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        parts: Vec<T>,
+        bytes: &[usize],
+        step: Step,
+    ) -> Vec<T> {
+        let q = comm.size();
+        assert_eq!(parts.len(), q, "alltoallv needs one part per member");
+        assert_eq!(bytes.len(), q, "alltoallv needs one size per member");
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let me = comm.my_index();
+        let my_bytes: usize = bytes.iter().sum::<usize>() - bytes[me];
+        let mut own: Option<T> = None;
+        for (i, part) in parts.into_iter().enumerate() {
+            if i == me {
+                own = Some(part);
+            } else {
+                self.send(comm, i, tag(seq, PH_DATA), part);
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
+        out[me] = own;
+        for i in 0..q {
+            if i != me {
+                out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+            }
+        }
+        // Heaviest sender determines the modeled completion time.
+        let max_bytes = if q > 1 {
+            self.allreduce_plain_max(comm, my_bytes as u64, seq)
+        } else {
+            0
+        };
+        let cost = self.machine().alltoall_secs(q, max_bytes as usize);
+        self.clock_mut().advance_to(step, t0 + cost);
+        self.clock_mut().record_comm(step, my_bytes as u64, 1);
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Cost-free internal max-reduce (used for cost computation itself).
+    fn allreduce_plain_max(&mut self, comm: &Comm, value: u64, seq: u64) -> u64 {
+        let q = comm.size();
+        let me = comm.my_index();
+        if me == 0 {
+            let mut acc = value;
+            for i in 1..q {
+                acc = acc.max(self.recv::<u64>(comm, i, tag(seq, PH_DATA + 2)));
+            }
+            for i in 1..q {
+                self.send(comm, i, tag(seq, PH_DATA + 3), acc);
+            }
+            acc
+        } else {
+            self.send(comm, 0, tag(seq, PH_DATA + 2), value);
+            self.recv::<u64>(comm, 0, tag(seq, PH_DATA + 3))
+        }
+    }
+
+    /// Barrier: synchronize clocks and charge one latency round.
+    pub fn barrier(&mut self, comm: &Comm, step: Step) {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let cost = if q > 1 {
+            self.machine().alpha * (q as f64).log2().ceil()
+        } else {
+            0.0
+        };
+        self.clock_mut().advance_to(step, t0 + cost);
+    }
+
+    /// Gather every member's value to `root` (returns `Some(values)` on the
+    /// root, `None` elsewhere). Used by harnesses to collect results;
+    /// charged to [`Step::Other`] semantics via the `step` argument.
+    pub fn gather_to_root<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        value: T,
+        bytes: usize,
+        step: Step,
+    ) -> Option<Vec<T>> {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let t0 = self.sync_clocks(comm, seq, step);
+        let me = comm.my_index();
+        let result = if me == root {
+            let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
+            out[root] = Some(value);
+            for i in 0..q {
+                if i != root {
+                    out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(comm, root, tag(seq, PH_DATA), value);
+            None
+        };
+        let cost = self.machine().allgather_secs(q, bytes);
+        self.clock_mut().advance_to(step, t0 + cost);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Machine;
+    use crate::runtime::run_ranks;
+
+    #[test]
+    fn bcast_delivers_to_all() {
+        let results = run_ranks(6, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let payload = if comm.my_index() == 2 {
+                Some(Arc::new(vec![1u32, 2, 3]))
+            } else {
+                None
+            };
+            let v = rank.bcast(&comm, 2, payload, 12, Step::ABcast);
+            (*v).clone()
+        });
+        assert!(results.iter().all(|v| v == &vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn bcast_charges_alpha_beta_cost() {
+        let results = run_ranks(8, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let payload = (comm.my_index() == 0).then(|| Arc::new(0u8));
+            rank.bcast(&comm, 0, payload, 1_000_000, Step::ABcast);
+            rank.clock().breakdown().secs_of(Step::ABcast)
+        });
+        let m = Machine::knl();
+        let expect = m.bcast_secs(8, 1_000_000);
+        for &t in &results {
+            assert!((t - expect).abs() < 1e-12, "got {t}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn allreduce_computes_global_op() {
+        let results = run_ranks(5, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.allreduce(&comm, rank.rank() as u64 + 1, |a, b| a.max(b), 8, Step::SymbolicComm)
+        });
+        assert!(results.iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn allreduce_sum() {
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.allreduce(&comm, rank.rank() as u64, |a, b| a + b, 8, Step::Other)
+        });
+        assert!(results.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn allgather_preserves_member_order() {
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.allgather(&comm, rank.rank() * 2, 8, Step::Other)
+        });
+        for r in results {
+            assert_eq!(r, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes_slots() {
+        let results = run_ranks(3, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let parts: Vec<String> = (0..3).map(|i| format!("{}->{}", rank.rank(), i)).collect();
+            rank.alltoallv(&comm, parts, &[8, 8, 8], Step::AllToAllFiber)
+        });
+        // out[i] on rank r must be "i->r".
+        for (r, out) in results.iter().enumerate() {
+            for (i, s) in out.iter().enumerate() {
+                assert_eq!(s, &format!("{i}->{r}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_synchronize_to_slowest_member() {
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            // Rank 1 does heavy "compute" first.
+            if rank.rank() == 1 {
+                rank.clock_mut().advance(Step::LocalMultiply, 10.0);
+            }
+            rank.barrier(&comm, Step::Other);
+            rank.clock().now()
+        });
+        let t0 = results[0];
+        assert!(t0 >= 10.0);
+        assert!(results.iter().all(|&t| (t - t0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sub_communicators_do_not_crosstalk() {
+        // Two disjoint pair-communicators broadcasting concurrently.
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let pair = if rank.rank() < 2 {
+                rank.comm(vec![0, 1], 10)
+            } else {
+                rank.comm(vec![2, 3], 10)
+            };
+            let payload = (pair.my_index() == 0).then(|| Arc::new(rank.rank()));
+            let v = rank.bcast(&pair, 0, payload, 8, Step::BBcast);
+            *v
+        });
+        assert_eq!(results, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn gather_to_root_collects_in_order() {
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.gather_to_root(&comm, 1, rank.rank() as u32 * 3, 4, Step::Other)
+        });
+        assert!(results[0].is_none());
+        assert_eq!(results[1], Some(vec![0, 3, 6, 9]));
+    }
+
+    #[test]
+    fn alltoall_cost_uses_heaviest_sender() {
+        let results = run_ranks(2, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            // Rank 0 sends 1 MB to rank 1; rank 1 sends 1 byte back.
+            let bytes = if rank.rank() == 0 { [0, 1_000_000] } else { [1, 0] };
+            rank.alltoallv(&comm, vec![0u8, 1u8], &bytes, Step::AllToAllFiber);
+            rank.clock().breakdown().secs_of(Step::AllToAllFiber)
+        });
+        let m = Machine::knl();
+        let expect = m.alltoall_secs(2, 1_000_000);
+        assert!(results.iter().all(|&t| (t - expect).abs() < 1e-12));
+    }
+}

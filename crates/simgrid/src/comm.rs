@@ -1,0 +1,295 @@
+//! Ranks, communicators, and typed point-to-point messaging.
+//!
+//! A [`Rank`] is the per-thread context of one simulated MPI process. A
+//! [`Comm`] is a subgroup of ranks (like an `MPI_Comm`): the process-row,
+//! process-column, fiber, and layer communicators of the 3D grid are all
+//! `Comm`s. Messages are matched on `(source, communicator, tag)` with
+//! out-of-order arrivals stashed, so independent collectives on different
+//! communicators cannot cross-talk.
+
+use crate::clock::{RankClock, Step};
+use crate::cost::Machine;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A message in flight.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub comm_id: u64,
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Shared world state: one channel endpoint per rank.
+pub(crate) struct WorldShared {
+    pub p: usize,
+    pub senders: Vec<Sender<Envelope>>,
+}
+
+/// A communicator: an ordered group of global ranks.
+///
+/// The member list order defines member indices (root indices, all-to-all
+/// slot order). Identified by a stable hash of `(members, color)` so that
+/// every member derives the same id without coordination.
+#[derive(Clone, Debug)]
+pub struct Comm {
+    members: Arc<Vec<usize>>,
+    my_index: usize,
+    id: u64,
+}
+
+impl Comm {
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index within the communicator.
+    pub fn my_index(&self) -> usize {
+        self.my_index
+    }
+
+    /// Global rank of member `index`.
+    pub fn member(&self, index: usize) -> usize {
+        self.members[index]
+    }
+
+    /// All members (global ranks, in index order).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Stable communicator id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Per-thread context of one simulated MPI process.
+pub struct Rank {
+    rank: usize,
+    world: Arc<WorldShared>,
+    rx: Receiver<Envelope>,
+    stash: Vec<Envelope>,
+    clock: RankClock,
+    machine: Machine,
+    /// Per-communicator collective sequence numbers (SPMD programs call
+    /// collectives on a communicator in identical order on every member,
+    /// so these counters agree without coordination).
+    op_seq: HashMap<u64, u64>,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        rank: usize,
+        world: Arc<WorldShared>,
+        rx: Receiver<Envelope>,
+        machine: Machine,
+    ) -> Self {
+        Rank {
+            rank,
+            world,
+            rx,
+            stash: Vec::new(),
+            clock: RankClock::new(),
+            machine,
+            op_seq: HashMap::new(),
+        }
+    }
+
+    /// Global rank id, `0..world_size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of simulated processes.
+    pub fn world_size(&self) -> usize {
+        self.world.p
+    }
+
+    /// The machine model in effect.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Read access to the modeled clock.
+    pub fn clock(&self) -> &RankClock {
+        &self.clock
+    }
+
+    /// Mutable access to the modeled clock (harness use: resets).
+    pub fn clock_mut(&mut self) -> &mut RankClock {
+        &mut self.clock
+    }
+
+    /// Advance the modeled clock by `work_units` of local computation
+    /// attributed to `step` (converted through the machine model).
+    pub fn compute(&mut self, step: Step, work_units: f64) {
+        let dt = self.machine.compute_secs(work_units);
+        self.clock.advance(step, dt);
+    }
+
+    /// Build the communicator containing every rank.
+    pub fn world_comm(&self) -> Comm {
+        self.comm((0..self.world.p).collect(), 0)
+    }
+
+    /// Build a communicator from an explicit member list (must contain this
+    /// rank). `color` disambiguates distinct communicators that happen to
+    /// share a member list.
+    pub fn comm(&self, members: Vec<usize>, color: u64) -> Comm {
+        let my_index = members
+            .iter()
+            .position(|&g| g == self.rank)
+            .expect("constructing a communicator that does not contain this rank");
+        let id = fnv1a(
+            members
+                .iter()
+                .flat_map(|&m| (m as u64).to_le_bytes())
+                .chain(color.to_le_bytes()),
+        );
+        Comm {
+            members: Arc::new(members),
+            my_index,
+            id,
+        }
+    }
+
+    /// Allocate the next collective sequence number on `comm`.
+    pub(crate) fn next_seq(&mut self, comm: &Comm) -> u64 {
+        let seq = self.op_seq.entry(comm.id()).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// Typed point-to-point send to `dst_index` within `comm`.
+    pub fn send<T: Send + 'static>(&self, comm: &Comm, dst_index: usize, tag: u64, value: T) {
+        let dst = comm.member(dst_index);
+        self.world.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                comm_id: comm.id(),
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("rank mailbox closed: peer thread exited early");
+    }
+
+    /// Typed blocking receive matching `(src_index, comm, tag)`.
+    ///
+    /// Non-matching arrivals are stashed and re-examined on later receives,
+    /// so interleaved traffic on other communicators is safe.
+    pub fn recv<T: Send + 'static>(&mut self, comm: &Comm, src_index: usize, tag: u64) -> T {
+        let src = comm.member(src_index);
+        let comm_id = comm.id();
+        // Check the stash first.
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.src == src && e.comm_id == comm_id && e.tag == tag)
+        {
+            let env = self.stash.swap_remove(pos);
+            return Self::downcast(env, src, comm_id, tag);
+        }
+        loop {
+            let env = self
+                .rx
+                .recv()
+                .expect("rank mailbox closed while waiting for a message");
+            if env.src == src && env.comm_id == comm_id && env.tag == tag {
+                return Self::downcast(env, src, comm_id, tag);
+            }
+            self.stash.push(env);
+        }
+    }
+
+    fn downcast<T: 'static>(env: Envelope, src: usize, comm_id: u64, tag: u64) -> T {
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving from rank {src} (comm {comm_id:#x}, tag {tag}): \
+                 expected {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_ranks;
+
+    #[test]
+    fn comm_ids_agree_across_members_and_differ_by_color() {
+        let results = run_ranks(4, Machine::knl(), |rank| {
+            let a = rank.comm(vec![0, 1, 2, 3], 7);
+            let b = rank.comm(vec![0, 1, 2, 3], 8);
+            (a.id(), b.id())
+        });
+        let (a0, b0) = results[0];
+        assert!(results.iter().all(|&(a, b)| a == a0 && b == b0));
+        assert_ne!(a0, b0);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = run_ranks(2, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 0 {
+                rank.send(&comm, 1, 42, String::from("hello"));
+                rank.recv::<u64>(&comm, 1, 43)
+            } else {
+                let s: String = rank.recv(&comm, 0, 42);
+                assert_eq!(s, "hello");
+                rank.send(&comm, 0, 43, 99u64);
+                0
+            }
+        });
+        assert_eq!(results[0], 99);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = run_ranks(2, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                rank.send(&comm, 1, 2, 222u32);
+                rank.send(&comm, 1, 1, 111u32);
+                0
+            } else {
+                let first: u32 = rank.recv(&comm, 0, 1);
+                let second: u32 = rank.recv(&comm, 0, 2);
+                assert_eq!((first, second), (111, 222));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn member_indexing() {
+        run_ranks(4, Machine::knl(), |rank| {
+            let evens = if rank.rank() % 2 == 0 {
+                Some(rank.comm(vec![0, 2], 1))
+            } else {
+                None
+            };
+            if let Some(c) = evens {
+                assert_eq!(c.size(), 2);
+                assert_eq!(c.member(c.my_index()), rank.rank());
+            }
+        });
+    }
+}

@@ -1,0 +1,40 @@
+//! Virtual MPI runtime for reproducing distributed-memory algorithms on a
+//! single machine.
+//!
+//! The paper evaluates on up to 262,144 Cray XC40 cores. This crate
+//! substitutes that testbed with a **simulated cluster**:
+//!
+//! * every simulated MPI process ("rank") runs as a real OS thread and the
+//!   algorithms execute for real — outputs are bit-for-bit what an MPI run
+//!   would produce;
+//! * communication happens over in-memory channels; collective operations
+//!   ([`collectives`]) have MPI semantics (bcast / allreduce / allgather /
+//!   alltoallv / gather / barrier);
+//! * *time* is modeled, not measured: each rank carries a [`clock::RankClock`]
+//!   advanced by an **α–β machine model** ([`cost::Machine`]) — latency `α`
+//!   per message round, inverse bandwidth `β` per byte, and a calibrated
+//!   seconds-per-work-unit for local computation. Every collective
+//!   max-synchronizes the clocks of its participants, so the per-step
+//!   breakdowns reported by [`stats`] reflect the critical path, exactly
+//!   like the per-step maxima the paper plots.
+//!
+//! The α–β model is the same model the paper uses for its own complexity
+//! analysis (Table II), which is what makes the modeled step breakdowns
+//! comparable in *shape* to the paper's measurements.
+
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod grid;
+pub mod runtime;
+pub mod stats;
+pub mod trace;
+
+pub use clock::{RankClock, Step, StepBreakdown};
+pub use comm::{Comm, Rank};
+pub use cost::Machine;
+pub use grid::{Grid2D, Grid3D};
+pub use runtime::run_ranks;
+pub use stats::{max_breakdown, StepReport};
+pub use trace::{chrome_trace_json, TraceEvent};

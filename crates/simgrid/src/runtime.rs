@@ -1,0 +1,104 @@
+//! Spawning and joining simulated ranks.
+
+use crate::comm::{Envelope, Rank, WorldShared};
+use crate::cost::Machine;
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// Stack size per simulated rank. Local SpGEMM kernels recurse little, so a
+/// modest stack keeps thousand-rank simulations cheap.
+const RANK_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Run `f` on `p` simulated ranks (one OS thread each) under `machine`'s
+/// cost model; returns each rank's result in rank order.
+///
+/// Panics in any rank are propagated (with the rank id) after all threads
+/// are joined, so a failing assertion inside a simulated algorithm fails
+/// the enclosing test.
+pub fn run_ranks<R, F>(p: usize, machine: Machine, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let world = Arc::new(WorldShared { p, senders });
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(p);
+        for (i, (rx, slot)) in receivers.iter_mut().zip(results.iter_mut()).enumerate() {
+            let rx = rx.take().expect("receiver already taken");
+            let world = Arc::clone(&world);
+            let handle = s
+                .builder()
+                .name(format!("rank-{i}"))
+                .stack_size(RANK_STACK_BYTES)
+                .spawn(move |_| {
+                    let mut rank = Rank::new(i, world, rx, machine);
+                    *slot = Some(f(&mut rank));
+                })
+                .expect("failed to spawn rank thread");
+            handles.push((i, handle));
+        }
+        for (i, h) in handles {
+            if let Err(e) = h.join() {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                panic!("rank {i} panicked: {msg}");
+            }
+        }
+    })
+    .expect("rank scope failed");
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("rank {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let r = run_ranks(8, Machine::knl(), |rank| rank.rank() * 10);
+        assert_eq!(r, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let r = run_ranks(1, Machine::knl(), |rank| rank.world_size());
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn many_ranks_spawn_cheaply() {
+        let r = run_ranks(256, Machine::knl(), |rank| rank.rank());
+        assert_eq!(r.len(), 256);
+        assert_eq!(r[255], 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 panicked")]
+    fn panics_propagate_with_rank_id() {
+        run_ranks(4, Machine::knl(), |rank| {
+            if rank.rank() == 3 {
+                panic!("boom");
+            }
+            0
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-rank reduction and report formatting for step breakdowns.
+//!
+//! The paper reports, for each configuration, the time of each major step
+//! maximized over processes (the critical path). [`max_breakdown`] performs
+//! that reduction; [`StepReport`] renders the familiar
+//! rows-of-steps-per-configuration tables and CSV series that the bench
+//! harnesses print.
+
+use crate::clock::{Step, StepBreakdown, ALL_STEPS};
+
+/// Elementwise maximum of per-rank breakdowns (critical-path view).
+pub fn max_breakdown(per_rank: &[StepBreakdown]) -> StepBreakdown {
+    let mut acc = StepBreakdown::default();
+    for b in per_rank {
+        acc.max_with(b);
+    }
+    acc
+}
+
+/// Sum of bytes over ranks per step (total communication volume).
+pub fn total_bytes(per_rank: &[StepBreakdown], step: Step) -> u64 {
+    per_rank.iter().map(|b| b.bytes[step as usize]).sum()
+}
+
+/// Steps shown in paper-style reports (everything but `Other`, with the
+/// two symbolic halves merged into one column).
+const REPORT_STEPS: [Step; 8] = [
+    Step::ABcast,
+    Step::BBcast,
+    Step::LocalMultiply,
+    Step::MergeLayer,
+    Step::AllToAllFiber,
+    Step::MergeFiber,
+    Step::SymbolicComm, // rendered as combined "Symbolic"
+    Step::Wait,
+];
+
+/// A table of labeled configurations × step breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    rows: Vec<(String, StepBreakdown)>,
+}
+
+impl StepReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a labeled configuration.
+    pub fn push(&mut self, label: impl Into<String>, breakdown: StepBreakdown) {
+        self.rows.push((label.into(), breakdown));
+    }
+
+    /// Labeled rows in insertion order.
+    pub fn rows(&self) -> &[(String, StepBreakdown)] {
+        &self.rows
+    }
+
+    fn symbolic_secs(b: &StepBreakdown) -> f64 {
+        b.secs_of(Step::SymbolicComm) + b.secs_of(Step::SymbolicComp)
+    }
+
+    /// Render an aligned text table (seconds of modeled time).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!("{:label_w$}", "config"));
+        for s in REPORT_STEPS {
+            let name = if s == Step::SymbolicComm { "Symbolic" } else { s.label() };
+            out.push_str(&format!(" {name:>14}"));
+        }
+        out.push_str(&format!(" {:>14}\n", "Total"));
+        for (label, b) in &self.rows {
+            out.push_str(&format!("{label:label_w$}"));
+            for s in REPORT_STEPS {
+                let v = if s == Step::SymbolicComm {
+                    Self::symbolic_secs(b)
+                } else {
+                    b.secs_of(s)
+                };
+                out.push_str(&format!(" {v:>14.4}"));
+            }
+            out.push_str(&format!(" {:>14.4}\n", b.total()));
+        }
+        out
+    }
+
+    /// Render CSV with one row per configuration.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("config");
+        for s in ALL_STEPS {
+            out.push_str(&format!(",{}", s.label()));
+        }
+        out.push_str(",total,comm_total,comp_total\n");
+        for (label, b) in &self.rows {
+            out.push_str(label);
+            for s in ALL_STEPS {
+                out.push_str(&format!(",{:.6e}", b.secs_of(s)));
+            }
+            out.push_str(&format!(
+                ",{:.6e},{:.6e},{:.6e}\n",
+                b.total(),
+                b.comm_total(),
+                b.comp_total()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bd(abcast: f64, lm: f64) -> StepBreakdown {
+        let mut b = StepBreakdown::default();
+        b.secs[Step::ABcast as usize] = abcast;
+        b.secs[Step::LocalMultiply as usize] = lm;
+        b
+    }
+
+    #[test]
+    fn max_breakdown_is_elementwise() {
+        let m = max_breakdown(&[bd(1.0, 5.0), bd(2.0, 3.0)]);
+        assert_eq!(m.secs_of(Step::ABcast), 2.0);
+        assert_eq!(m.secs_of(Step::LocalMultiply), 5.0);
+    }
+
+    #[test]
+    fn report_renders_all_rows() {
+        let mut r = StepReport::new();
+        r.push("l=1 b=4", bd(1.0, 2.0));
+        r.push("l=16 b=8", bd(0.5, 1.0));
+        let t = r.to_table();
+        assert!(t.contains("l=1 b=4"));
+        assert!(t.contains("l=16 b=8"));
+        assert!(t.contains("A-Bcast"));
+        assert!(t.contains("Total"));
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("config,"));
+    }
+
+    #[test]
+    fn total_bytes_sums_over_ranks() {
+        let mut a = StepBreakdown::default();
+        a.bytes[Step::ABcast as usize] = 10;
+        let mut b = StepBreakdown::default();
+        b.bytes[Step::ABcast as usize] = 32;
+        assert_eq!(total_bytes(&[a, b], Step::ABcast), 42);
+    }
+}

@@ -1,0 +1,88 @@
+//! Execution tracing: per-rank timelines of modeled step spans, exportable
+//! as Chrome trace JSON (`chrome://tracing`, Perfetto).
+//!
+//! Tracing is opt-in per rank ([`crate::RankClock::enable_tracing`]); when
+//! enabled, every `advance`/`advance_to` span is recorded. The exporter
+//! writes one timeline row per rank, making SUMMA stage structure, batch
+//! boundaries, and synchronization waits visible at a glance.
+
+use crate::clock::Step;
+
+/// One contiguous span of modeled time attributed to a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The step the span belongs to.
+    pub step: Step,
+    /// Span start, modeled seconds.
+    pub start: f64,
+    /// Span end, modeled seconds.
+    pub end: f64,
+}
+
+/// Render per-rank event lists as Chrome trace JSON.
+///
+/// Rank `i`'s events appear on thread id `i`; durations are microseconds
+/// as the format requires. Zero-length spans are skipped.
+pub fn chrome_trace_json(per_rank: &[Vec<TraceEvent>]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (rank, events) in per_rank.iter().enumerate() {
+        for e in events {
+            let dur_us = (e.end - e.start) * 1e6;
+            if dur_us <= 0.0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank}}}",
+                e.step.label(),
+                e.start * 1e6,
+                dur_us
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json_shape() {
+        let events = vec![
+            vec![
+                TraceEvent {
+                    step: Step::ABcast,
+                    start: 0.0,
+                    end: 1e-3,
+                },
+                TraceEvent {
+                    step: Step::LocalMultiply,
+                    start: 1e-3,
+                    end: 2e-3,
+                },
+            ],
+            vec![TraceEvent {
+                step: Step::Wait,
+                start: 0.0,
+                end: 0.0, // zero-length: skipped
+            }],
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"A-Bcast\""));
+        assert!(json.contains("\"tid\":0"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}

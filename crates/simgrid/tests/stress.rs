@@ -1,0 +1,130 @@
+//! Stress and semantics tests for the virtual MPI runtime: message
+//! matching under heavy interleaving, clock-model laws, grid algebra.
+
+use spgemm_simgrid::{run_ranks, Grid3D, Machine, Step};
+use std::sync::Arc;
+
+/// Many interleaved collectives on overlapping communicators must never
+/// cross-talk: each op's payload round-trips exactly.
+#[test]
+fn interleaved_collectives_on_many_communicators() {
+    let p = 16;
+    let results = run_ranks(p, Machine::knl(), |rank| {
+        let grid = Grid3D::new(rank, 4);
+        let mut acc = 0u64;
+        for round in 0..20u64 {
+            // Row broadcast of a round-tagged value.
+            let payload = (grid.row.my_index() == (round as usize % grid.row.size()))
+                .then(|| Arc::new(round * 1000 + grid.i as u64));
+            let v = rank.bcast(
+                &grid.row,
+                round as usize % grid.row.size(),
+                payload,
+                8,
+                Step::ABcast,
+            );
+            assert_eq!(*v, round * 1000 + grid.i as u64, "row bcast mixed rounds");
+            // Column allreduce.
+            let s = rank.allreduce(&grid.col, 1u64, |a, b| a + b, 8, Step::BBcast);
+            assert_eq!(s as usize, grid.col.size());
+            // Fiber alltoall with identifiable slots.
+            let parts: Vec<u64> = (0..grid.fiber.size())
+                .map(|i| round * 10_000 + (grid.fiber.my_index() * 100 + i) as u64)
+                .collect();
+            let bytes = vec![8usize; grid.fiber.size()];
+            let got = rank.alltoallv(&grid.fiber, parts, &bytes, Step::AllToAllFiber);
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(*g, round * 10_000 + (i * 100 + grid.fiber.my_index()) as u64);
+            }
+            acc += *v + s;
+        }
+        acc
+    });
+    assert_eq!(results.len(), p);
+}
+
+/// Modeled time is deterministic: two identical runs produce identical
+/// clocks to the last bit.
+#[test]
+fn modeled_time_is_deterministic() {
+    let run = || {
+        run_ranks(8, Machine::knl(), |rank| {
+            let grid = Grid3D::new(rank, 2);
+            for i in 0..5usize {
+                let payload = (grid.row.my_index() == 0).then(|| Arc::new(i));
+                rank.bcast(&grid.row, 0, payload, 1000 * (i + 1), Step::ABcast);
+                rank.compute(Step::LocalMultiply, 5000.0 * (rank.rank() + 1) as f64);
+                rank.barrier(&grid.world, Step::Other);
+            }
+            rank.clock().now()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+/// Clocks never move backwards, and the critical path is monotone in the
+/// number of operations.
+#[test]
+fn clocks_are_monotone() {
+    run_ranks(9, Machine::knl(), |rank| {
+        let grid = Grid3D::new(rank, 1);
+        let mut last = 0.0;
+        for i in 0..10usize {
+            let payload = (grid.col.my_index() == i % 3).then(|| Arc::new(()));
+            rank.bcast(&grid.col, i % 3, payload, 64, Step::BBcast);
+            let now = rank.clock().now();
+            assert!(now >= last, "clock went backwards: {last} -> {now}");
+            last = now;
+        }
+    });
+}
+
+/// allgather returns contributions in member-index order even when the
+/// contributions are large and ranks enter at wildly different times.
+#[test]
+fn allgather_order_with_skewed_entry() {
+    let results = run_ranks(6, Machine::knl(), |rank| {
+        // Skew entry times.
+        let skew = rank.rank() as f64;
+        rank.clock_mut().advance(Step::LocalMultiply, skew);
+        let comm = rank.world_comm();
+        let v = vec![rank.rank() as u8; 1000 + rank.rank()];
+        rank.allgather(&comm, v, 1000, Step::Other)
+    });
+    for out in results {
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), 1000 + i);
+            assert!(v.iter().all(|&x| x as usize == i));
+        }
+    }
+}
+
+/// Grid communicators are consistent: the member at my_index is me, and
+/// every member agrees on the communicator size.
+#[test]
+fn grid_communicator_self_consistency() {
+    for (p, l) in [(4usize, 1usize), (12, 3), (16, 16), (36, 9)] {
+        run_ranks(p, Machine::knl(), move |rank| {
+            let g = Grid3D::new(rank, l);
+            for comm in [&g.row, &g.col, &g.fiber, &g.layer, &g.world] {
+                assert_eq!(comm.member(comm.my_index()), rank.rank());
+                let max_size =
+                    rank.allreduce(comm, comm.size() as u64, |a, b| a.max(b), 8, Step::Other);
+                assert_eq!(max_size as usize, comm.size());
+            }
+        });
+    }
+}
+
+/// A 1024-rank world still spawns, synchronizes and tears down cleanly.
+#[test]
+fn thousand_rank_smoke() {
+    let results = run_ranks(1024, Machine::knl(), |rank| {
+        let comm = rank.world_comm();
+        rank.allreduce(&comm, rank.rank() as u64, |a, b| a + b, 8, Step::Other)
+    });
+    let expect = (1023 * 1024 / 2) as u64;
+    assert!(results.iter().all(|&v| v == expect));
+}

@@ -1,0 +1,174 @@
+//! Matrix Market I/O.
+//!
+//! Supports the `coordinate` format with `real`, `integer`, or `pattern`
+//! fields and `general` or `symmetric` symmetry — enough to ingest
+//! SuiteSparse matrices like Friendster or to persist generated test
+//! matrices for external tools.
+
+use crate::csc::CscMatrix;
+use crate::semiring::PlusTimesF64;
+use crate::triples::Triples;
+use crate::{Result, SparseError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parse a Matrix Market stream into a CSC matrix of `f64`.
+///
+/// Pattern matrices get value 1.0; symmetric storage is expanded to general.
+/// Duplicate coordinates are summed.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CscMatrix<f64>> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Io("empty stream".into()))?
+        .map_err(|e| SparseError::Io(e.to_string()))?;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(SparseError::Io("missing MatrixMarket banner".into()));
+    }
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(SparseError::Io(format!("unsupported header: {header}")));
+    }
+    let field = tokens[3];
+    let symmetry = tokens[4];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(SparseError::Io(format!("unsupported field: {field}")));
+    }
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(SparseError::Io(format!("unsupported symmetry: {symmetry}")));
+    }
+
+    // Skip comments; first non-comment line is the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Io("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::Io(format!("bad size line: {size_line}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Io(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = Triples::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Io(format!("bad entry: {trimmed}")))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Io(format!("bad entry: {trimmed}")))?;
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Io(format!("bad value: {trimmed}")))?
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(SparseError::Io(format!("coordinate out of bounds: {trimmed}")));
+        }
+        // Matrix Market is 1-based.
+        t.push((r - 1) as u32, (c - 1) as u32, v);
+        if symmetry == "symmetric" && r != c {
+            t.push((c - 1) as u32, (r - 1) as u32, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Io(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(t.to_csc_dedup::<PlusTimesF64>())
+}
+
+/// Read from a file path.
+pub fn read_matrix_market_file(path: &Path) -> Result<CscMatrix<f64>> {
+    let f = std::fs::File::open(path).map_err(|e| SparseError::Io(e.to_string()))?;
+    read_matrix_market(f)
+}
+
+/// Write a CSC matrix in `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(m: &CscMatrix<f64>, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let res: std::io::Result<()> = (|| {
+        writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+        writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+        for (r, c, v) in m.iter() {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+        w.flush()
+    })();
+    res.map_err(|e| SparseError::Io(e.to_string()))
+}
+
+/// Write to a file path.
+pub fn write_matrix_market_file(m: &CscMatrix<f64>, path: &Path) -> Result<()> {
+    let f = std::fs::File::create(path).map_err(|e| SparseError::Io(e.to_string()))?;
+    write_matrix_market(m, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er_random;
+    use crate::semiring::PlusTimesF64 as PT;
+
+    #[test]
+    fn roundtrip_random_matrix() {
+        let m = er_random::<PT>(20, 15, 3, 44);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert!(m.approx_eq(&back, 1e-14));
+    }
+
+    #[test]
+    fn parses_pattern_and_comments() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% a comment\n3 3 2\n1 1\n3 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.col(0), (&[0u32][..], &[1.0][..]));
+        assert_eq!(m.col(1), (&[2u32][..], &[1.0][..]));
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 3.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(1), (&[0u32][..], &[3.0][..]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_coordinates() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Local sparse-matrix substrate for the IPDPS 2021 SpGEMM reproduction.
+//!
+//! This crate provides everything a *single process* of the distributed
+//! algorithm needs:
+//!
+//! * [`CscMatrix`] — compressed sparse column storage with tracked
+//!   column-sortedness (the paper's sort-free kernels deliberately produce
+//!   unsorted columns; see Sec. IV-D of the paper).
+//! * [`DcscMatrix`] — doubly compressed columns for the hypersparse local
+//!   blocks a 3D distribution produces at scale (CombBLAS practice).
+//! * [`Semiring`] — SpGEMM over arbitrary semirings (Sec. II-A).
+//! * [`spgemm`] — local multiplication kernels: the *previous-generation*
+//!   heap kernel \[13\] and hybrid sorted-hash kernel \[25\], and this
+//!   paper's **unsorted-hash** kernel, plus symbolic (nnz-count) variants.
+//! * [`merge`] — k-way merge kernels used by Merge-Layer / Merge-Fiber:
+//!   the previous heap merge and this paper's **unsorted-hash merge**.
+//! * [`ops`] — transpose, column split/concat (block and block-cyclic),
+//!   pruning, elementwise operations.
+//! * [`gen`] — deterministic generators standing in for the paper's test
+//!   matrices (Erdős–Rényi, R-MAT, clustered protein-similarity,
+//!   reads×k-mers incidence).
+//! * [`io`] — Matrix Market I/O.
+//!
+//! All kernels report [`WorkStats`] (flops, output nnz, abstract work units)
+//! that the `spgemm-simgrid` cost model converts into modeled time.
+
+pub mod csc;
+pub mod dcsc;
+pub mod gen;
+pub mod io;
+pub mod merge;
+pub mod ops;
+pub mod semiring;
+pub mod spgemm;
+pub mod triples;
+
+pub use csc::CscMatrix;
+pub use dcsc::DcscMatrix;
+pub use semiring::{BoolOrAnd, MaxMinF64, MinPlusF64, PlusTimesF64, PlusTimesI64, PlusTimesU64, Semiring};
+pub use spgemm::WorkStats;
+pub use triples::Triples;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Matrix dimensions incompatible for the requested operation.
+    DimensionMismatch {
+        expected: (usize, usize),
+        found: (usize, usize),
+    },
+    /// Structural invariant violated (e.g. colptr not monotone).
+    InvalidStructure(String),
+    /// I/O or parse failure in Matrix Market handling.
+    Io(String),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,217 @@
+//! Reusable open-addressing hash accumulator.
+//!
+//! The core data structure behind the paper's sort-free kernels: a linear
+//! probing table keyed by row index, reused across output columns (the
+//! "workhorse collection" pattern — clearing touches only occupied slots,
+//! so a hyper-sparse column doesn't pay for the table's full capacity).
+
+use crate::semiring::Semiring;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing (linear probing) accumulator mapping row index → value.
+///
+/// Capacity is always a power of two sized at least 2× the expected number
+/// of distinct keys, keeping the load factor ≤ 0.5.
+pub struct HashAccum<T> {
+    keys: Vec<u32>,
+    vals: Vec<T>,
+    /// Slots currently occupied, in insertion order (drain + reset list).
+    occupied: Vec<u32>,
+    mask: usize,
+    /// Total probe steps since construction (cost-model diagnostics).
+    probes: u64,
+    fill: T,
+}
+
+impl<T: Copy> HashAccum<T> {
+    /// New accumulator. `fill` initializes value slots (any value works; the
+    /// `keys` sentinel is authoritative). Typically `S::zero()`.
+    pub fn new(fill: T) -> Self {
+        HashAccum {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            occupied: Vec::new(),
+            mask: 0,
+            probes: 0,
+            fill,
+        }
+    }
+
+    /// Prepare for a column with at most `expected` distinct keys: grows the
+    /// table if needed and clears previous occupancy.
+    pub fn reset(&mut self, expected: usize) {
+        let want = (expected.max(1) * 2).next_power_of_two();
+        if want > self.keys.len() {
+            self.keys = vec![EMPTY; want];
+            self.vals = vec![self.fill; want];
+            self.mask = want - 1;
+        } else {
+            for &slot in &self.occupied {
+                self.keys[slot as usize] = EMPTY;
+            }
+        }
+        self.occupied.clear();
+    }
+
+    /// Number of distinct keys currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// True if no keys stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+
+    /// Total linear-probe steps performed so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u32) -> usize {
+        // Fibonacci hashing: good spread for clustered row indices.
+        (key.wrapping_mul(0x9E37_79B1) as usize) & self.mask
+    }
+
+    /// `table[key] ⊕= val` under semiring `S`.
+    #[inline]
+    pub fn accumulate<S: Semiring<T = T>>(&mut self, key: u32, val: T) {
+        debug_assert_ne!(key, EMPTY, "row index u32::MAX is reserved");
+        let mut slot = self.slot_of(key);
+        loop {
+            self.probes += 1;
+            let k = self.keys[slot];
+            if k == key {
+                self.vals[slot] = S::add(self.vals[slot], val);
+                return;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                self.occupied.push(slot as u32);
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Insert a key for symbolic (structure-only) counting.
+    #[inline]
+    pub fn insert_key(&mut self, key: u32) {
+        debug_assert_ne!(key, EMPTY);
+        let mut slot = self.slot_of(key);
+        loop {
+            self.probes += 1;
+            let k = self.keys[slot];
+            if k == key {
+                return;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.occupied.push(slot as u32);
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Append stored `(key, value)` pairs to the output vectors in
+    /// *insertion* order (unsorted — the whole point of the sort-free
+    /// kernels), then leave the table ready for reuse via [`Self::reset`].
+    pub fn drain_into(&mut self, rows: &mut Vec<u32>, vals: &mut Vec<T>) {
+        for &slot in &self.occupied {
+            rows.push(self.keys[slot as usize]);
+            vals.push(self.vals[slot as usize]);
+        }
+    }
+
+    /// Append stored `(key, value)` pairs sorted ascending by key.
+    pub fn drain_into_sorted(&mut self, rows: &mut Vec<u32>, vals: &mut Vec<T>) {
+        let start = rows.len();
+        self.drain_into(rows, vals);
+        let seg = &mut rows[start..];
+        let mut perm: Vec<u32> = (0..seg.len() as u32).collect();
+        perm.sort_unstable_by_key(|&i| seg[i as usize]);
+        let sorted_rows: Vec<u32> = perm.iter().map(|&i| seg[i as usize]).collect();
+        seg.copy_from_slice(&sorted_rows);
+        let vseg = &mut vals[start..];
+        let sorted_vals: Vec<T> = perm.iter().map(|&i| vseg[i as usize]).collect();
+        vseg.copy_from_slice(&sorted_vals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{PlusTimesF64, PlusTimesU64};
+
+    #[test]
+    fn accumulate_combines_duplicates() {
+        let mut acc = HashAccum::new(0.0);
+        acc.reset(4);
+        acc.accumulate::<PlusTimesF64>(7, 1.0);
+        acc.accumulate::<PlusTimesF64>(7, 2.0);
+        acc.accumulate::<PlusTimesF64>(3, 5.0);
+        assert_eq!(acc.len(), 2);
+        let (mut r, mut v) = (Vec::new(), Vec::new());
+        acc.drain_into_sorted(&mut r, &mut v);
+        assert_eq!(r, vec![3, 7]);
+        assert_eq!(v, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_clears_only_occupied() {
+        let mut acc = HashAccum::new(0u64);
+        acc.reset(8);
+        for k in 0..8 {
+            acc.accumulate::<PlusTimesU64>(k, 1);
+        }
+        acc.reset(8);
+        assert!(acc.is_empty());
+        acc.accumulate::<PlusTimesU64>(3, 9);
+        let (mut r, mut v) = (Vec::new(), Vec::new());
+        acc.drain_into(&mut r, &mut v);
+        assert_eq!(r, vec![3]);
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn grows_when_expected_exceeds_capacity() {
+        let mut acc = HashAccum::new(0u64);
+        acc.reset(2);
+        acc.reset(1000);
+        for k in 0..1000 {
+            acc.insert_key(k);
+        }
+        assert_eq!(acc.len(), 1000);
+    }
+
+    #[test]
+    fn collision_heavy_keys_all_stored() {
+        // Keys that collide under the multiplier still resolve by probing.
+        let mut acc = HashAccum::new(0u64);
+        acc.reset(64);
+        for i in 0..64u32 {
+            acc.accumulate::<PlusTimesU64>(i * 64, 1);
+        }
+        assert_eq!(acc.len(), 64);
+        assert!(acc.probes() >= 64);
+    }
+
+    #[test]
+    fn insertion_order_drain_is_unsorted_but_complete() {
+        let mut acc = HashAccum::new(0.0);
+        acc.reset(4);
+        acc.accumulate::<PlusTimesF64>(9, 1.0);
+        acc.accumulate::<PlusTimesF64>(2, 2.0);
+        acc.accumulate::<PlusTimesF64>(5, 3.0);
+        let (mut r, mut v) = (Vec::new(), Vec::new());
+        acc.drain_into(&mut r, &mut v);
+        assert_eq!(r, vec![9, 2, 5]); // insertion order
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+}

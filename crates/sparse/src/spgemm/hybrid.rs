@@ -1,0 +1,169 @@
+//! Hybrid sorted SpGEMM — the kernel of Nagasaka et al. \[25\] that the
+//! paper's previous-generation pipeline used after \[13\].
+//!
+//! Per output column: if the column has few input streams (low estimated
+//! compression work) use a heap merge, otherwise a hash accumulator; either
+//! way the finished column is **sorted** before moving on. The paper's
+//! unsorted-hash kernel removes exactly this final sort (and the heap
+//! path's input-sortedness requirement); Fig. 15 / Table VII quantify the
+//! difference.
+
+use super::accum::HashAccum;
+use super::{lg, WorkStats, C_HASH_FLOP, C_HEAP_FLOP, C_SORT};
+use crate::csc::CscMatrix;
+use crate::semiring::Semiring;
+use crate::{Result, SparseError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Streams-per-column threshold below which the heap path wins (few streams
+/// mean the log factor is tiny and the heap's sorted output is free).
+const HEAP_STREAMS_MAX: usize = 4;
+
+/// Multiply `a · b`, choosing heap or hash per column; sorted output.
+///
+/// Requires sorted `a` (the heap path consumes sorted columns, matching the
+/// prior-work pipeline where every intermediate was kept sorted).
+pub fn spgemm_hybrid<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: (a.ncols(), a.ncols()),
+            found: (b.nrows(), b.ncols()),
+        });
+    }
+    if !a.is_sorted() {
+        return Err(SparseError::InvalidStructure(
+            "hybrid SpGEMM requires sorted columns in A".into(),
+        ));
+    }
+    let n_out = b.ncols();
+    let mut colptr = vec![0usize; n_out + 1];
+    let mut rowidx: Vec<u32> = Vec::new();
+    let mut vals: Vec<S::T> = Vec::new();
+    let mut stats = WorkStats::default();
+    let mut acc: HashAccum<S::T> = HashAccum::new(S::zero());
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut cursors: Vec<usize> = Vec::new();
+
+    for j in 0..n_out {
+        let (b_rows, b_vals) = b.col(j);
+        let k = b_rows.len();
+        if k == 0 {
+            colptr[j + 1] = rowidx.len();
+            continue;
+        }
+        let mut col_flops = 0u64;
+        for &i in b_rows {
+            col_flops += a.col_nnz(i as usize) as u64;
+        }
+        let col_start = rowidx.len();
+        if k <= HEAP_STREAMS_MAX {
+            // Heap path: sorted output for free.
+            heap.clear();
+            cursors.clear();
+            cursors.resize(k, 0);
+            for (s, &i) in b_rows.iter().enumerate() {
+                let (a_rows, _) = a.col(i as usize);
+                if !a_rows.is_empty() {
+                    heap.push(Reverse((a_rows[0], s as u32)));
+                }
+            }
+            while let Some(Reverse((row, s))) = heap.pop() {
+                let s = s as usize;
+                let (a_rows, a_vals) = a.col(b_rows[s] as usize);
+                let pos = cursors[s];
+                let prod = S::mul(a_vals[pos], b_vals[s]);
+                match rowidx.last() {
+                    Some(&last) if last == row && rowidx.len() > col_start => {
+                        let v = vals.last_mut().unwrap();
+                        *v = S::add(*v, prod);
+                    }
+                    _ => {
+                        rowidx.push(row);
+                        vals.push(prod);
+                    }
+                }
+                cursors[s] = pos + 1;
+                if pos + 1 < a_rows.len() {
+                    heap.push(Reverse((a_rows[pos + 1], s as u32)));
+                }
+            }
+            stats.work_units += col_flops as f64 * lg(k) * C_HEAP_FLOP;
+        } else {
+            // Hash path + explicit sort of the finished column.
+            acc.reset(col_flops as usize);
+            for (&i, &bv) in b_rows.iter().zip(b_vals.iter()) {
+                let (a_rows, a_vals) = a.col(i as usize);
+                for (&r, &av) in a_rows.iter().zip(a_vals.iter()) {
+                    acc.accumulate::<S>(r, S::mul(av, bv));
+                }
+            }
+            acc.drain_into_sorted(&mut rowidx, &mut vals);
+            let produced = rowidx.len() - col_start;
+            stats.work_units +=
+                col_flops as f64 * C_HASH_FLOP + produced as f64 * lg(produced) * C_SORT;
+        }
+        let produced = rowidx.len() - col_start;
+        stats.flops += col_flops;
+        stats.nnz_out += produced as u64;
+        colptr[j + 1] = rowidx.len();
+    }
+    let c = CscMatrix::from_parts_unchecked(a.nrows(), n_out, colptr, rowidx, vals, true);
+    debug_assert!(c.check_sorted());
+    Ok((c, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er_random;
+    use crate::semiring::{PlusTimesF64, PlusTimesU64};
+    use crate::spgemm::dense_acc::spgemm_spa;
+    use crate::spgemm::hash::spgemm_hash_unsorted;
+
+    #[test]
+    fn matches_spa_and_hash_kernels() {
+        let a = er_random::<PlusTimesU64>(80, 80, 7, 21).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(80, 80, 7, 22).map(|_| 1u64);
+        let (c_hy, _) = spgemm_hybrid::<PlusTimesU64>(&a, &b).unwrap();
+        let (c_spa, _) = spgemm_spa::<PlusTimesU64>(&a, &b).unwrap();
+        let (c_hash, _) = spgemm_hash_unsorted::<PlusTimesU64>(&a, &b).unwrap();
+        assert!(c_hy.eq_modulo_order(&c_spa));
+        assert!(c_hy.eq_modulo_order(&c_hash));
+        assert!(c_hy.is_sorted());
+    }
+
+    #[test]
+    fn exercises_both_paths() {
+        // Columns with 1 stream (heap path) and columns with many (hash path).
+        let a = er_random::<PlusTimesF64>(60, 60, 3, 31);
+        let b_sparse = er_random::<PlusTimesF64>(60, 30, 1, 32); // heap path
+        let b_dense = er_random::<PlusTimesF64>(60, 30, 12, 33); // hash path
+        let (c1, _) = spgemm_hybrid::<PlusTimesF64>(&a, &b_sparse).unwrap();
+        let (c2, _) = spgemm_hybrid::<PlusTimesF64>(&a, &b_dense).unwrap();
+        let (o1, _) = spgemm_spa::<PlusTimesF64>(&a, &b_sparse).unwrap();
+        let (o2, _) = spgemm_spa::<PlusTimesF64>(&a, &b_dense).unwrap();
+        assert!(c1.approx_eq(&o1, 1e-12));
+        assert!(c2.approx_eq(&o2, 1e-12));
+    }
+
+    #[test]
+    fn hybrid_work_exceeds_unsorted_hash() {
+        // The extra sort makes hybrid cost more work units on hash-path columns.
+        let a = er_random::<PlusTimesF64>(120, 120, 10, 41);
+        let b = er_random::<PlusTimesF64>(120, 120, 10, 42);
+        let (_, s_hy) = spgemm_hybrid::<PlusTimesF64>(&a, &b).unwrap();
+        let (_, s_hash) = spgemm_hash_unsorted::<PlusTimesF64>(&a, &b).unwrap();
+        assert!(s_hy.work_units > s_hash.work_units);
+    }
+
+    #[test]
+    fn rejects_unsorted_a() {
+        let a = CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap();
+        let b = CscMatrix::<f64>::zero(1, 2);
+        assert!(spgemm_hybrid::<PlusTimesF64>(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Symbolic (structure-only) SpGEMM — `LocalSymbolic` in Alg. 3.
+//!
+//! Counts `nnz(A·B)` without computing values. Much cheaper than a numeric
+//! multiply (no value traffic, no output materialization), which is why the
+//! paper's Symbolic3D step is communication-dominated (Fig. 8).
+
+use super::accum::HashAccum;
+use super::{WorkStats, C_DRAIN, C_HASH_FLOP};
+use crate::csc::CscMatrix;
+use crate::{Result, SparseError};
+
+/// Per-column output nnz of `a · b`, plus flop count.
+///
+/// Returns `(col_counts, stats)` where `col_counts[j] = nnz((A·B)(:,j))`.
+/// `stats.nnz_out` is the total; `stats.flops` the multiplication count the
+/// numeric kernel would perform.
+pub fn symbolic_col_counts<T: Copy, U: Copy>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+) -> Result<(Vec<u64>, WorkStats)> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: (a.ncols(), a.ncols()),
+            found: (b.nrows(), b.ncols()),
+        });
+    }
+    let n_out = b.ncols();
+    let mut counts = vec![0u64; n_out];
+    let mut acc: HashAccum<()> = HashAccum::new(());
+    let mut stats = WorkStats::default();
+    #[allow(clippy::needless_range_loop)] // indexes both `b` and `counts`
+    for j in 0..n_out {
+        let (b_rows, _) = b.col(j);
+        let mut ub = 0usize;
+        for &i in b_rows {
+            ub += a.col_nnz(i as usize);
+        }
+        if ub == 0 {
+            continue;
+        }
+        acc.reset(ub);
+        for &i in b_rows {
+            let (a_rows, _) = a.col(i as usize);
+            for &r in a_rows {
+                acc.insert_key(r);
+            }
+        }
+        counts[j] = acc.len() as u64;
+        stats.flops += ub as u64;
+        stats.nnz_out += acc.len() as u64;
+        // Symbolic probes cost like numeric probes but skip the value math
+        // and the drain; model at half the per-flop constant.
+        stats.work_units += ub as f64 * (C_HASH_FLOP * 0.5) + acc.len() as f64 * (C_DRAIN * 0.25);
+    }
+    Ok((counts, stats))
+}
+
+/// Total `nnz(A·B)` (convenience wrapper over [`symbolic_col_counts`]).
+pub fn symbolic_nnz<T: Copy, U: Copy>(a: &CscMatrix<T>, b: &CscMatrix<U>) -> Result<(u64, WorkStats)> {
+    let (_, stats) = symbolic_col_counts(a, b)?;
+    Ok((stats.nnz_out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er_random;
+    use crate::semiring::PlusTimesF64;
+    use crate::spgemm::dense_acc::spgemm_spa;
+
+    #[test]
+    fn counts_match_numeric_kernel() {
+        let a = er_random::<PlusTimesF64>(70, 70, 6, 51);
+        let b = er_random::<PlusTimesF64>(70, 70, 6, 52);
+        let (counts, stats) = symbolic_col_counts(&a, &b).unwrap();
+        let (c, num_stats) = spgemm_spa::<PlusTimesF64>(&a, &b).unwrap();
+        for (j, &count) in counts.iter().enumerate() {
+            assert_eq!(count as usize, c.col_nnz(j), "column {j}");
+        }
+        assert_eq!(stats.nnz_out, c.nnz() as u64);
+        assert_eq!(stats.flops, num_stats.flops);
+    }
+
+    #[test]
+    fn symbolic_cheaper_than_numeric_in_work_units() {
+        let a = er_random::<PlusTimesF64>(100, 100, 8, 61);
+        let b = er_random::<PlusTimesF64>(100, 100, 8, 62);
+        let (_, sym) = symbolic_nnz(&a, &b).unwrap();
+        let (_, num) = spgemm_spa::<PlusTimesF64>(&a, &b).unwrap();
+        assert!(sym.work_units < num.work_units);
+    }
+
+    #[test]
+    fn empty_product() {
+        let a = CscMatrix::<f64>::zero(5, 5);
+        let b = er_random::<PlusTimesF64>(5, 5, 2, 1);
+        let (n, _) = symbolic_nnz(&a, &b).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dimension_check() {
+        let a = CscMatrix::<f64>::zero(5, 4);
+        let b = CscMatrix::<f64>::zero(5, 5);
+        assert!(symbolic_nnz(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Protein clustering with HipMCL-style Markov clustering — the paper's
+//! flagship memory-constrained application (Sec. V-C, Fig. 3).
+//!
+//! A synthetic protein-similarity network (block communities) is clustered
+//! by iterated matrix squaring under a memory budget too small to hold the
+//! expanded matrix: the symbolic step chooses a batch count per iteration,
+//! and each batch of `A²` is inflated, normalized and pruned inside the
+//! batched multiply.
+//!
+//! Run with `cargo run --release --example protein_clustering`.
+
+use spgemm_apps::components::num_clusters;
+use spgemm_apps::mcl::{markov_cluster, mcl_init, MclParams};
+use spgemm_core::MemoryBudget;
+use spgemm_sparse::gen::clustered_similarity;
+
+fn main() {
+    // 8 protein families of 24 members each.
+    let (nclusters, size) = (8, 24);
+    let adj = clustered_similarity(nclusters, size, 10, 1, 2024);
+    println!(
+        "similarity network: {} proteins, {} similarities",
+        adj.nrows(),
+        adj.nnz()
+    );
+
+    // Budget sizing: any MCL iterate is pruned to ≤ select entries per
+    // column, so n·select·r bounds the inputs forever; the budget covers
+    // that comfortably but stays far below the expansion's intermediate
+    // size — forcing the dense early iterations to run in multiple
+    // batches, exactly the regime of Fig. 3.
+    let mut params = MclParams::new(16, 4);
+    params.select = 16;
+    let n = adj.nrows();
+    params.budget = MemoryBudget::new(n * params.select * 24 * 8);
+    assert!(params.budget.total_bytes > mcl_init(&adj).nnz() * 24 * 2);
+
+    let result = markov_cluster(&adj, &params).expect("clustering failed");
+
+    println!("\niter  batches  chaos      nnz(M)   SpGEMM modeled secs");
+    for (i, it) in result.per_iter.iter().enumerate() {
+        println!(
+            "{:>4}  {:>7}  {:<9.4}  {:>7}  {:.4}",
+            i + 1,
+            it.nbatches,
+            it.chaos,
+            it.nnz,
+            it.breakdown.total()
+        );
+    }
+    let k = num_clusters(&result.labels);
+    println!(
+        "\nconverged in {} iterations; found {k} clusters (planted: {nclusters})",
+        result.iterations
+    );
+    assert_eq!(k, nclusters, "planted communities should be recovered");
+    println!("planted communities recovered ✓");
+}

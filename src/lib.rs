@@ -1,0 +1,10 @@
+//! Umbrella crate of the SpGEMM reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The library surface simply re-exports the
+//! member crates so examples and downstream users can depend on one name.
+
+pub use spgemm_apps as apps;
+pub use spgemm_core as core;
+pub use spgemm_simgrid as simgrid;
+pub use spgemm_sparse as sparse;

@@ -1,0 +1,99 @@
+//! Algebraic laws of the distributed multiply: the semiring structure must
+//! survive distribution, batching and kernel choice.
+
+use spgemm_core::{run_spgemm, KernelStrategy, RunConfig};
+use spgemm_sparse::gen::er_random;
+use spgemm_sparse::ops::elementwise_add;
+use spgemm_sparse::semiring::{BoolOrAnd, PlusTimesU64};
+use spgemm_sparse::spgemm::spgemm_spa;
+use spgemm_sparse::CscMatrix;
+
+fn dmul(p: usize, l: usize, nb: usize, a: &CscMatrix<u64>, b: &CscMatrix<u64>) -> CscMatrix<u64> {
+    let mut cfg = RunConfig::new(p, l);
+    cfg.forced_batches = Some(nb);
+    run_spgemm::<PlusTimesU64>(&cfg, a, b)
+        .expect("distributed multiply")
+        .c
+        .expect("gathered")
+}
+
+/// `(A·B)·C == A·(B·C)` where every multiply runs distributed, each on a
+/// different grid/batch configuration.
+#[test]
+fn associativity_across_configurations() {
+    let a = er_random::<PlusTimesU64>(36, 30, 3, 301).map(|_| 2u64);
+    let b = er_random::<PlusTimesU64>(30, 34, 3, 302).map(|_| 3u64);
+    let c = er_random::<PlusTimesU64>(34, 28, 3, 303).map(|_| 1u64);
+    let ab = dmul(4, 4, 2, &a, &b);
+    let left = dmul(9, 1, 3, &ab, &c);
+    let bc = dmul(16, 4, 1, &b, &c);
+    let right = dmul(8, 2, 4, &a, &bc);
+    assert!(left.eq_modulo_order(&right));
+}
+
+/// Left distributivity: `A·(B ⊕ C) == A·B ⊕ A·C` with the ⊕ computed by
+/// the local merge kernel and the products computed distributed.
+#[test]
+fn distributivity_over_elementwise_add() {
+    let a = er_random::<PlusTimesU64>(32, 32, 4, 311).map(|_| 1u64);
+    let b = er_random::<PlusTimesU64>(32, 32, 3, 312).map(|_| 2u64);
+    let c = er_random::<PlusTimesU64>(32, 32, 3, 313).map(|_| 5u64);
+    let b_plus_c = elementwise_add::<PlusTimesU64>(&b, &c).unwrap();
+    let lhs = dmul(16, 4, 2, &a, &b_plus_c);
+    let ab = dmul(4, 1, 1, &a, &b);
+    let ac = dmul(4, 4, 3, &a, &c);
+    let rhs = elementwise_add::<PlusTimesU64>(&ab, &ac).unwrap();
+    assert!(lhs.eq_modulo_order(&rhs));
+}
+
+/// Boolean matrix powers computed distributed equal serial reachability:
+/// `A^4` over (∨, ∧) marks exactly the 4-step-reachable pairs.
+#[test]
+fn boolean_power_equals_serial_reachability() {
+    let a = er_random::<BoolOrAnd>(40, 40, 2, 321);
+    // Serial A^4.
+    let (a2s, _) = spgemm_spa::<BoolOrAnd>(&a, &a).unwrap();
+    let (a4s, _) = spgemm_spa::<BoolOrAnd>(&a2s, &a2s).unwrap();
+    // Distributed A^4 via two squarings on different grids.
+    let sq = |m: &CscMatrix<bool>, p: usize, l: usize| {
+        let mut cfg = RunConfig::new(p, l);
+        cfg.forced_batches = Some(2);
+        run_spgemm::<BoolOrAnd>(&cfg, m, m).unwrap().c.unwrap()
+    };
+    let a2 = sq(&a, 16, 4);
+    let a4 = sq(&a2, 9, 1);
+    assert!(a4.eq_modulo_order(&a4s));
+}
+
+/// Kernel generations commute with everything: `Previous` on one factor
+/// order equals `New` on the other (u64: exact arithmetic).
+#[test]
+fn kernel_generations_are_interchangeable() {
+    let a = er_random::<PlusTimesU64>(44, 44, 4, 331).map(|_| 1u64);
+    let b = er_random::<PlusTimesU64>(44, 44, 4, 332).map(|_| 1u64);
+    let mut prev = RunConfig::new(16, 16);
+    prev.kernels = KernelStrategy::Previous;
+    prev.forced_batches = Some(3);
+    let mut new = RunConfig::new(12, 3);
+    new.kernels = KernelStrategy::New;
+    new.forced_batches = Some(5);
+    let x = run_spgemm::<PlusTimesU64>(&prev, &a, &b).unwrap().c.unwrap();
+    let y = run_spgemm::<PlusTimesU64>(&new, &a, &b).unwrap().c.unwrap();
+    assert!(x.eq_modulo_order(&y));
+}
+
+/// Batched A·Aᵀ through the distributed transpose equals the plain
+/// two-operand path.
+#[test]
+fn aat_helper_equals_two_operand_path() {
+    let a = er_random::<PlusTimesU64>(30, 50, 3, 341).map(|_| 1u64);
+    let at = spgemm_sparse::ops::transpose(&a);
+    let mut cfg = RunConfig::new(16, 4);
+    cfg.forced_batches = Some(2);
+    let via_pair = run_spgemm::<PlusTimesU64>(&cfg, &a, &at).unwrap().c.unwrap();
+    let via_helper = spgemm_core::run_spgemm_aat::<PlusTimesU64>(&cfg, &a)
+        .unwrap()
+        .c
+        .unwrap();
+    assert!(via_pair.eq_modulo_order(&via_helper));
+}
