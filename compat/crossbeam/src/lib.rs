@@ -1,0 +1,212 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the two crossbeam facilities `spgemm-simgrid` relies on, as facades
+//! over `std`:
+//!
+//! * [`channel`] — unbounded MPSC channels (`unbounded`, `Sender`,
+//!   `Receiver`) over `std::sync::mpsc`. `std`'s `Sender` has been `Sync`
+//!   since Rust 1.72, which is the property the simulated-MPI world state
+//!   (`Arc<WorldShared>` holding every rank's sender) needs.
+//! * [`thread`] — scoped threads with the crossbeam builder API
+//!   (`scope`, `Scope::builder`, `name`, `stack_size`, spawn closures
+//!   receiving a `&Scope` argument) over `std::thread::scope`, which has
+//!   identical lifetime semantics since Rust 1.63.
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's signatures over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel. Clonable and `Sync`.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails if all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's builder API over `std::thread`.
+
+    use std::any::Any;
+    use std::io;
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// A thread scope: threads spawned through it may borrow `'env` data
+    /// and are all joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Start configuring a new scoped thread.
+        pub fn builder(&self) -> ScopedThreadBuilder<'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: self.inner,
+                builder: std::thread::Builder::new(),
+            }
+        }
+
+        /// Spawn with default settings. The closure receives a `&Scope`
+        /// so it can spawn further siblings (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Builder mirroring `crossbeam::thread::ScopedThreadBuilder`.
+    pub struct ScopedThreadBuilder<'scope, 'env: 'scope> {
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+    }
+
+    impl<'scope, 'env> ScopedThreadBuilder<'scope, 'env> {
+        /// Name the thread (appears in panic messages and debuggers).
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Set the thread's stack size in bytes.
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.builder = self.builder.stack_size(size);
+            self
+        }
+
+        /// Spawn the configured thread; the closure receives a `&Scope`.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = self.scope;
+            self.builder
+                .spawn_scoped(scope, move || f(&Scope { inner: scope }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// All spawned threads are joined before this returns. Crossbeam
+    /// returns `Err` with the panic payload if an **unjoined** thread
+    /// panicked; `std::thread::scope` instead resumes the panic directly,
+    /// so callers that join every handle themselves (as `spgemm-simgrid`
+    /// does) observe identical behaviour, and the `Result` wrapper is kept
+    /// purely for signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn sender_is_sync_and_shareable() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        assert_sync(&tx);
+        let shared = Arc::new(tx);
+        super::thread::scope(|s| {
+            for i in 0..4 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move |_| shared.send(i).unwrap());
+            }
+        })
+        .unwrap();
+        drop(shared);
+        let mut got: Vec<usize> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let counter = AtomicUsize::new(0);
+        let r = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let h = s
+                    .builder()
+                    .name(format!("worker-{i}"))
+                    .stack_size(128 * 1024)
+                    .spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        std::thread::current().name().map(str::to_string)
+                    })
+                    .unwrap();
+                handles.push(h);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert!(r.contains(&"worker-0".to_string()));
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            let err = h.join().unwrap_err();
+            assert_eq!(err.downcast_ref::<&str>(), Some(&"boom"));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of proptest's API that the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for integer ranges and tuples of strategies;
+//! * [`collection::vec`] with `Range`/`RangeInclusive` size bounds;
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   plus [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted: no shrinking (a
+//! failing case panics with the case's seed printed, which is enough to
+//! re-run deterministically), and value streams differ from upstream's.
+//! Case generation is fully deterministic per `(test name, case index)`,
+//! so failures reproduce exactly across runs.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream (value trees + shrinking), generation here is a
+    /// single draw from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Keep only values satisfying `pred`; panics if 1000 consecutive
+        /// draws all fail (upstream rejects the test case instead).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                whence,
+                pred,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy producing a fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Filter<S, F> {
+        base: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a [`VecStrategy`] generating between `size.lo` and
+    /// `size.hi` (inclusive) elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling.
+
+    /// Per-test configuration; only `cases` is modelled.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) seeded from the test's name
+    /// and case index, so every run generates the same cases and a failure
+    /// message's case index pinpoints the reproducing input.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test identified by `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert `cond`, reporting the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_eq!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_eq!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Assert inequality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_ne!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_ne!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// item expands to a test running `body` over `cases` generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the config for
+/// every property in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`] — expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __guard = $crate::CasePanicContext::new(stringify!($name), __case);
+                $body
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Prints the failing case index on unwind so a deterministic repro is
+/// always one `TestRng::for_case(name, index)` away.
+#[doc(hidden)]
+pub struct CasePanicContext {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CasePanicContext {
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CasePanicContext {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at case index {} \
+                 (deterministic; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let (a, b) = (1..=5usize, 0..7u32).generate(&mut rng);
+            assert!((1..=5).contains(&a));
+            assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let s = crate::collection::vec(0..10u64, 2..=4);
+        let mut rng = TestRng::for_case("v", 3);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s = (1..=4usize).prop_flat_map(|n| {
+            crate::collection::vec(0..100u32, n..=n).prop_map(move |v| (n, v))
+        });
+        let mut rng = TestRng::for_case("fm", 1);
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let s = crate::collection::vec(0..1000u64, 0..=10);
+        let a = s.generate(&mut TestRng::for_case("d", 5));
+        let b = s.generate(&mut TestRng::for_case("d", 5));
+        assert_eq!(a, b);
+        // Different cases give different draws (overwhelmingly).
+        let c = s.generate(&mut TestRng::for_case("d", 6));
+        let d2 = s.generate(&mut TestRng::for_case("d", 7));
+        assert!(a != c || c != d2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro binds tuple patterns and runs bodies per case.
+        #[test]
+        fn macro_smoke((a, b) in (0..50u32, 0..50u32), extra in 1usize..4) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(extra.clamp(1, 3), extra);
+            prop_assert_ne!(extra, 0);
+        }
+    }
+
+    proptest! {
+        /// Default config path also compiles and runs.
+        #[test]
+        fn macro_default_config(x in 0..10u64) {
+            prop_assert!(x < 10);
+        }
+    }
+}

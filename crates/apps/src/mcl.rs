@@ -325,7 +325,7 @@ mod tests {
         // 4 dense communities, weak inter-links: MCL must cut them apart.
         let nclusters = 4;
         let size = 8;
-        let adj = clustered_similarity(nclusters, size, 6, 1, 93);
+        let adj = clustered_similarity(nclusters, size, 7, 1, 93);
         let params = MclParams::new(4, 1);
         let result = markov_cluster(&adj, &params).unwrap();
         let expected: Vec<usize> = (0..nclusters * size).map(|v| v / size).collect();

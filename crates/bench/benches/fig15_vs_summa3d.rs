@@ -13,7 +13,7 @@
 
 use spgemm_bench::{measure_f64, workloads, write_csv};
 use spgemm_core::{KernelStrategy, RunConfig};
-use spgemm_simgrid::StepReport;
+use spgemm_simgrid::{KernelCounters, StepReport};
 use spgemm_sparse::semiring::PlusTimesF64;
 use std::time::Instant;
 
@@ -34,7 +34,15 @@ fn main() {
             cfg.kernels = kernels;
             cfg.forced_batches = Some(1);
             let out = measure_f64(&cfg, &a, &a);
-            report.push(format!("p={p} {}", kernels.name()), out.max);
+            report.push_with_counters(
+                format!("p={p} {}", kernels.name()),
+                out.max,
+                KernelCounters {
+                    allocs: out.kernel_stats.allocs,
+                    peak_scratch_bytes: out.kernel_stats.peak_scratch_bytes,
+                    memcpy_bytes: out.kernel_stats.memcpy_bytes,
+                },
+            );
             csv.push_str(&format!(
                 "{p},{},{:.6e},{:.6e},{:.6e}\n",
                 kernels.name(),

@@ -11,7 +11,7 @@
 //! HipMCL/BELLA/hypergraph-coarsening usage pattern the paper targets.
 
 use crate::dist::{CPiece, DistMatrix};
-use crate::kernels::KernelStrategy;
+use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::{MemTracker, MemoryBudget};
 use crate::summa2d::MergeSchedule;
 use crate::summa3d::summa3d_batch;
@@ -19,7 +19,7 @@ use crate::symbolic::{symbolic3d_with_weights, SymbolicOutcome};
 use crate::{CoreError, Result};
 use spgemm_simgrid::{Grid3D, Rank, Step};
 use spgemm_sparse::ops::{block_range, cyclic_batch_cols, extract_cols};
-use spgemm_sparse::Semiring;
+use spgemm_sparse::{Semiring, WorkStats};
 use std::sync::Arc;
 
 /// How batches partition the columns of `B` (and `C`).
@@ -103,6 +103,13 @@ pub struct BatchedResult<T: Copy> {
     pub symbolic: Option<SymbolicOutcome>,
     /// Peak modeled bytes on this rank (inputs + intermediates).
     pub peak_bytes: usize,
+    /// Aggregate kernel-side counters for this rank across the symbolic
+    /// sweep and every batch: real flops, output nnz, heap allocations,
+    /// peak workspace scratch bytes, and copy-out volume. All local
+    /// multiplies, merges, and symbolic counts share one
+    /// [`LocalKernels`] engine, so `allocs` directly measures how much the
+    /// workspace reuse avoided the allocator.
+    pub kernel_stats: WorkStats,
 }
 
 /// One batch's local column selection: the column indices plus the
@@ -199,6 +206,10 @@ pub fn batched_summa3d<S: Semiring>(
     mut on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
 ) -> Result<BatchedResult<S::T>> {
     let r = cfg.budget.r;
+    // One kernel engine for the whole run: the symbolic sweep warms its
+    // accumulator and every batch's multiplies and merges reuse the same
+    // scratch, so steady-state batches run allocation-free.
+    let mut kernels = LocalKernels::new(cfg.kernels);
     let needs_weights = cfg.batching == BatchingStrategy::Balanced;
     // Alg. 4 line 2: the symbolic step determines b (unless forced).
     // Balanced batching needs the symbolic per-column counts either way.
@@ -213,7 +224,8 @@ pub fn batched_summa3d<S: Semiring>(
             if forced == Some(0) {
                 return Err(CoreError::Config("forced batch count must be ≥ 1".into()));
             }
-            let (outcome, weights) = symbolic3d_with_weights::<S>(rank, grid, a, b, &cfg.budget)?;
+            let (outcome, weights) =
+                symbolic3d_with_weights::<S>(rank, grid, a, b, &cfg.budget, &mut kernels)?;
             let nb = forced.unwrap_or(outcome.batches);
             let weights = needs_weights.then_some(weights);
             (nb, Some(outcome), weights)
@@ -270,7 +282,7 @@ pub fn batched_summa3d<S: Semiring>(
             &b_piece,
             &global_cols,
             &batch_cols.piece_offsets,
-            cfg.kernels,
+            &mut kernels,
             cfg.merge_schedule,
             r,
             &mut mem,
@@ -296,6 +308,7 @@ pub fn batched_summa3d<S: Semiring>(
         nbatches,
         symbolic,
         peak_bytes: mem.peak(),
+        kernel_stats: kernels.totals(),
     })
 }
 

@@ -13,7 +13,7 @@ use crate::memory::MemoryBudget;
 use crate::symbolic::SymbolicOutcome;
 use crate::{CoreError, Result};
 use spgemm_simgrid::{max_breakdown, run_ranks, Grid3D, Machine, StepBreakdown};
-use spgemm_sparse::{CscMatrix, Semiring};
+use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
 
 /// Full configuration of a simulated distributed SpGEMM run.
@@ -83,6 +83,10 @@ pub struct RunOutput<T: Copy> {
     /// Per-rank step timelines when `RunConfig::trace` was set; render
     /// with [`spgemm_simgrid::chrome_trace_json`].
     pub traces: Option<Vec<Vec<spgemm_simgrid::TraceEvent>>>,
+    /// Kernel-side counters aggregated over all ranks: flops/nnz/allocs/
+    /// memcpy bytes are summed, peak scratch bytes is the max over ranks
+    /// (each rank owns one workspace).
+    pub kernel_stats: WorkStats,
 }
 
 struct PerRank<T: Copy> {
@@ -92,6 +96,7 @@ struct PerRank<T: Copy> {
     symbolic: Option<SymbolicOutcome>,
     c: Option<CscMatrix<T>>,
     events: Option<Vec<spgemm_simgrid::TraceEvent>>,
+    kernel_stats: WorkStats,
 }
 
 /// Multiply `a · b` on a simulated `p`-rank cluster per `cfg`.
@@ -162,6 +167,7 @@ pub fn run_spgemm<S: Semiring>(
             symbolic: result.symbolic,
             c,
             events: rank.clock().events().map(|e| e.to_vec()),
+            kernel_stats: result.kernel_stats,
         })
     });
 
@@ -219,6 +225,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             symbolic: result.symbolic,
             c,
             events: rank.clock().events().map(|e| e.to_vec()),
+            kernel_stats: result.kernel_stats,
         })
     });
 
@@ -254,11 +261,13 @@ fn collect_outputs<T: Copy>(
     let mut nbatches = 0;
     let mut symbolic = None;
     let mut traces = cfg.trace.then(Vec::new);
+    let mut kernel_stats = WorkStats::default();
     for (i, r) in results.into_iter().enumerate() {
         let r = r?;
         per_rank.push(r.breakdown);
         peaks.push(r.peak);
         nbatches = r.nbatches;
+        kernel_stats.merge(r.kernel_stats);
         if i == 0 {
             symbolic = r.symbolic;
             c = r.c;
@@ -276,6 +285,7 @@ fn collect_outputs<T: Copy>(
         symbolic,
         peak_bytes: peaks,
         traces,
+        kernel_stats,
     })
 }
 

@@ -8,9 +8,15 @@
 //! pieces. Under `Previous` every intermediate stays sorted; under `New`
 //! only the final Merge-Fiber output is sorted.
 
-use spgemm_sparse::merge::{merge_hash_sorted, merge_hash_unsorted, merge_heap};
-use spgemm_sparse::spgemm::{spgemm_hash_unsorted, spgemm_hybrid};
-use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
+use spgemm_sparse::merge::{
+    merge_hash_sorted, merge_hash_sorted_with_workspace, merge_hash_unsorted,
+    merge_hash_unsorted_with_workspace, merge_heap, merge_heap_with_workspace,
+};
+use spgemm_sparse::spgemm::{
+    spgemm_hash_unsorted, spgemm_hash_unsorted_with_workspace, spgemm_hybrid,
+    spgemm_hybrid_with_workspace, symbolic_col_counts_with_workspace,
+};
+use spgemm_sparse::{CscMatrix, Semiring, SpGemmWorkspace, WorkStats};
 
 /// Which local-kernel generation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +76,107 @@ impl KernelStrategy {
     }
 }
 
+/// A rank's local-kernel engine: the chosen [`KernelStrategy`] bound to a
+/// long-lived [`SpGemmWorkspace`] so every Local-Multiply, Merge-Layer,
+/// Merge-Fiber and symbolic sweep on the rank reuses one set of scratch
+/// buffers across SUMMA stages and batches (allocation-free hot paths).
+///
+/// Also accumulates the per-rank [`WorkStats`] totals — flops, output nnz,
+/// work units, and the workspace's allocation/byte counters — which the
+/// harness surfaces in reports.
+pub struct LocalKernels<T: Copy> {
+    strategy: KernelStrategy,
+    workspace: SpGemmWorkspace<T>,
+    totals: WorkStats,
+}
+
+impl<T: Copy> LocalKernels<T> {
+    /// Fresh engine for one rank; scratch starts empty and warms up over
+    /// the first stages.
+    pub fn new(strategy: KernelStrategy) -> Self {
+        LocalKernels {
+            strategy,
+            workspace: SpGemmWorkspace::new(),
+            totals: WorkStats::default(),
+        }
+    }
+
+    /// The kernel generation this engine runs.
+    pub fn strategy(&self) -> KernelStrategy {
+        self.strategy
+    }
+
+    /// Accumulated stats over every kernel invocation so far.
+    pub fn totals(&self) -> WorkStats {
+        self.totals
+    }
+
+    /// The reusable scratch (for capacity/footprint diagnostics).
+    pub fn workspace(&self) -> &SpGemmWorkspace<T> {
+        &self.workspace
+    }
+
+    /// Local-Multiply through the shared workspace.
+    pub fn local_multiply<S: Semiring<T = T>>(
+        &mut self,
+        a: &CscMatrix<T>,
+        b: &CscMatrix<T>,
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let (c, stats) = match self.strategy {
+            KernelStrategy::Previous => {
+                spgemm_hybrid_with_workspace::<S>(a, b, &mut self.workspace)?
+            }
+            KernelStrategy::New => {
+                spgemm_hash_unsorted_with_workspace::<S>(a, b, &mut self.workspace)?
+            }
+        };
+        self.totals.merge(stats);
+        Ok((c, stats))
+    }
+
+    /// Merge-Layer through the shared workspace.
+    pub fn merge_layer<S: Semiring<T = T>>(
+        &mut self,
+        parts: &[CscMatrix<T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let (c, stats) = match self.strategy {
+            KernelStrategy::Previous => merge_heap_with_workspace::<S>(parts, &mut self.workspace)?,
+            KernelStrategy::New => {
+                merge_hash_unsorted_with_workspace::<S>(parts, &mut self.workspace)?
+            }
+        };
+        self.totals.merge(stats);
+        Ok((c, stats))
+    }
+
+    /// Merge-Fiber through the shared workspace (sorted output).
+    pub fn merge_fiber<S: Semiring<T = T>>(
+        &mut self,
+        parts: &[CscMatrix<T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let (c, stats) = match self.strategy {
+            KernelStrategy::Previous => merge_heap_with_workspace::<S>(parts, &mut self.workspace)?,
+            KernelStrategy::New => {
+                merge_hash_sorted_with_workspace::<S>(parts, &mut self.workspace)?
+            }
+        };
+        self.totals.merge(stats);
+        Ok((c, stats))
+    }
+
+    /// `LocalSymbolic` (Alg. 3) through the shared workspace's
+    /// structure-only accumulator.
+    pub fn symbolic_col_counts(
+        &mut self,
+        a: &CscMatrix<T>,
+        b: &CscMatrix<T>,
+    ) -> spgemm_sparse::Result<(Vec<u64>, WorkStats)> {
+        let (counts, stats) = symbolic_col_counts_with_workspace(a, b, &mut self.workspace)?;
+        self.totals.merge(stats);
+        Ok((counts, stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +206,58 @@ mod tests {
         assert!(f_prev.eq_modulo_order(&f_new));
         assert!(f_new.is_sorted(), "final merge-fiber output must be sorted");
         assert!(f_prev.is_sorted());
+    }
+
+    #[test]
+    fn local_kernels_match_stateless_strategy_calls() {
+        // The workspace-backed engine must be bit-identical to the
+        // allocating entry points, for both generations, across a reused
+        // multiply → merge → multiply sequence with shape changes.
+        let mut engines = [
+            LocalKernels::<u64>::new(KernelStrategy::New),
+            LocalKernels::<u64>::new(KernelStrategy::Previous),
+        ];
+        for engine in &mut engines {
+            let strat = engine.strategy();
+            for (n, seed) in [(50usize, 1u64), (12, 5), (70, 9)] {
+                let a = er_random::<PlusTimesU64>(n, n, 5, seed).map(|_| 1u64);
+                let b = er_random::<PlusTimesU64>(n, n, 5, seed + 1).map(|_| 1u64);
+                let (c_ws, s_ws) = engine.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+                let (c_ref, s_ref) = strat.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+                assert_eq!(c_ws.colptr(), c_ref.colptr());
+                assert_eq!(c_ws.rowidx(), c_ref.rowidx());
+                assert_eq!(c_ws.vals(), c_ref.vals());
+                assert_eq!(s_ws.flops, s_ref.flops);
+                assert_eq!(s_ws.nnz_out, s_ref.nnz_out);
+                let parts = [c_ws.clone(), c_ws];
+                let (m_ws, _) = engine.merge_layer::<PlusTimesU64>(&parts).unwrap();
+                let (m_ref, _) = strat.merge_layer::<PlusTimesU64>(&parts).unwrap();
+                assert_eq!(m_ws.rowidx(), m_ref.rowidx());
+                assert_eq!(m_ws.vals(), m_ref.vals());
+                let (f_ws, _) = engine.merge_fiber::<PlusTimesU64>(&parts).unwrap();
+                assert!(f_ws.is_sorted());
+            }
+        }
+    }
+
+    #[test]
+    fn local_kernels_accumulate_totals_and_reuse_scratch() {
+        let mut engine = LocalKernels::<u64>::new(KernelStrategy::New);
+        let a = er_random::<PlusTimesU64>(60, 60, 6, 11).map(|_| 1u64);
+        let b = er_random::<PlusTimesU64>(60, 60, 6, 12).map(|_| 1u64);
+        engine.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+        let warm_allocs = engine.totals().allocs;
+        let warm_scratch = engine.workspace().scratch_bytes();
+        assert!(warm_allocs > 0);
+        // Same-shape repeats only pay the exact-size output copies (3
+        // allocations per call), never scratch growth.
+        for _ in 0..5 {
+            engine.local_multiply::<PlusTimesU64>(&a, &b).unwrap();
+        }
+        assert_eq!(engine.totals().allocs, warm_allocs + 5 * 3);
+        assert_eq!(engine.workspace().scratch_bytes(), warm_scratch);
+        assert!(engine.totals().flops > 0);
+        assert!(engine.totals().memcpy_bytes > 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod symbolic;
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
 pub use harness::{run_spgemm, run_spgemm_aat, run_spgemm_row_batched, RunConfig, RunOutput};
-pub use kernels::KernelStrategy;
+pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};
 pub use summa2d::MergeSchedule;
 pub use symbolic::{symbolic3d, SymbolicOutcome};

@@ -10,7 +10,7 @@
 //! [`crate::summa3d`] to reduce across fibers.
 
 use crate::dist::DistMatrix;
-use crate::kernels::KernelStrategy;
+use crate::kernels::LocalKernels;
 use crate::memory::MemTracker;
 use crate::Result;
 use spgemm_simgrid::{Grid3D, Rank, Step};
@@ -38,7 +38,10 @@ pub enum MergeSchedule {
 /// `a_local` must be shared as an `Arc` by the caller so repeated batches
 /// don't re-clone it. `b_batch` is this rank's B piece for the current
 /// batch. The modeled clock of `rank` is advanced per step; `mem` tracks
-/// the modeled footprint of the intermediates.
+/// the modeled footprint of the intermediates. `kernels` is the rank's
+/// long-lived kernel engine: its workspace is reused across every stage,
+/// batch, and layer this rank executes, so steady-state stages run
+/// allocation-free (the tentpole of the workspace-reuse PR).
 #[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + matrices + policies
 pub fn summa2d_layer<S: Semiring>(
     rank: &mut Rank,
@@ -46,7 +49,7 @@ pub fn summa2d_layer<S: Semiring>(
     a: &DistMatrix<S::T>,
     a_shared: &Arc<CscMatrix<S::T>>,
     b_batch: &Arc<CscMatrix<S::T>>,
-    strategy: KernelStrategy,
+    kernels: &mut LocalKernels<S::T>,
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
@@ -78,7 +81,7 @@ pub fn summa2d_layer<S: Semiring>(
         );
 
         // Local-Multiply.
-        let (partial, stats) = strategy.local_multiply::<S>(&a_recv, &b_recv)?;
+        let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
         rank.compute(Step::LocalMultiply, stats.work_units);
 
         match schedule {
@@ -97,7 +100,7 @@ pub fn summa2d_layer<S: Semiring>(
                     Some(acc) => {
                         let in_bytes = acc.modeled_bytes(r) + partial.modeled_bytes(r);
                         let (merged, mstats) =
-                            strategy.merge_layer::<S>(&[acc, partial])?;
+                            kernels.merge_layer::<S>(&[acc, partial])?;
                         rank.compute(Step::MergeLayer, mstats.work_units);
                         mem.free(in_bytes);
                         mem.alloc(merged.modeled_bytes(r));
@@ -116,7 +119,7 @@ pub fn summa2d_layer<S: Semiring>(
             // is modeled as streaming (inputs released column-by-column as
             // they are consumed), so the merged output replaces rather
             // than stacks on the partials.
-            let (merged, stats) = strategy.merge_layer::<S>(&partials)?;
+            let (merged, stats) = kernels.merge_layer::<S>(&partials)?;
             rank.compute(Step::MergeLayer, stats.work_units);
             mem.free(partial_bytes);
             mem.alloc(merged.modeled_bytes(r));
@@ -134,6 +137,7 @@ pub fn summa2d_layer<S: Semiring>(
 mod tests {
     use super::*;
     use crate::dist::{gather_pieces, scatter, CPiece, DistKind};
+    use crate::kernels::KernelStrategy;
     use spgemm_simgrid::{run_ranks, Machine};
     use spgemm_sparse::gen::er_random;
     use spgemm_sparse::semiring::{PlusTimesF64, PlusTimesU64};
@@ -180,8 +184,9 @@ mod tests {
             let a_shared = Arc::new(a.local.clone());
             let b_shared = Arc::new(b.local.clone());
             let mut mem = MemTracker::new();
+            let mut kernels = LocalKernels::new(strategy);
             let mut d =
-                summa2d_layer::<S>(rank, &grid, &a, &a_shared, &b_shared, strategy, schedule, 24, &mut mem)
+                summa2d_layer::<S>(rank, &grid, &a, &a_shared, &b_shared, &mut kernels, schedule, 24, &mut mem)
                     .expect("summa2d failed");
             d.sort_columns();
             let piece = CPiece {
@@ -272,13 +277,14 @@ mod tests {
                 let a_shared = Arc::new(da.local.clone());
                 let b_shared = Arc::new(db.local.clone());
                 let mut mem = MemTracker::new();
+                let mut kernels = LocalKernels::new(KernelStrategy::New);
                 summa2d_layer::<PlusTimesF64>(
                     rank,
                     &grid,
                     &da,
                     &a_shared,
                     &b_shared,
-                    KernelStrategy::New,
+                    &mut kernels,
                     schedule,
                     24,
                     &mut mem,
@@ -323,13 +329,14 @@ mod tests {
             let a_shared = Arc::new(a.local.clone());
             let b_shared = Arc::new(b.local.clone());
             let mut mem = MemTracker::new();
+            let mut kernels = LocalKernels::new(KernelStrategy::New);
             summa2d_layer::<PlusTimesF64>(
                 rank,
                 &grid,
                 &a,
                 &a_shared,
                 &b_shared,
-                KernelStrategy::New,
+                &mut kernels,
                 MergeSchedule::AfterAllStages,
                 24,
                 &mut mem,

@@ -8,7 +8,7 @@
 //! (*Merge-Fiber*) into its final piece of `C` for this batch.
 
 use crate::dist::{CPiece, DistMatrix};
-use crate::kernels::KernelStrategy;
+use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::MemTracker;
 use crate::summa2d::{summa2d_layer, MergeSchedule};
 use crate::Result;
@@ -30,7 +30,7 @@ pub fn summa3d_batch<S: Semiring>(
     b_batch: &Arc<CscMatrix<S::T>>,
     batch_global_cols: &[u32],
     piece_offsets: &[usize],
-    strategy: KernelStrategy,
+    kernels: &mut LocalKernels<S::T>,
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
@@ -40,7 +40,7 @@ pub fn summa3d_batch<S: Semiring>(
     debug_assert_eq!(*piece_offsets.last().unwrap(), b_batch.ncols());
 
     // Per-layer 2D SUMMA producing D̃⁽ᵏ⁾ (Alg. 2 line 3).
-    let d = summa2d_layer::<S>(rank, grid, a, a_shared, b_batch, strategy, schedule, r, mem)?;
+    let d = summa2d_layer::<S>(rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem)?;
 
 
     // ColSplit D̃⁽ᵏ⁾ into l column pieces (Alg. 2 line 4). Piece k' also
@@ -73,7 +73,7 @@ pub fn summa3d_batch<S: Semiring>(
 
     // Merge-Fiber (Alg. 2 line 6) — the one place output is sorted.
     let pieces: Vec<CscMatrix<S::T>> = received.into_iter().map(|(p, _)| p).collect();
-    let (merged, stats) = strategy.merge_fiber::<S>(&pieces)?;
+    let (merged, stats) = kernels.merge_fiber::<S>(&pieces)?;
     rank.compute(Step::MergeFiber, stats.work_units);
     mem.free(recv_bytes);
     mem.alloc(merged.modeled_bytes(r));
@@ -88,6 +88,8 @@ pub fn summa3d_batch<S: Semiring>(
 
 /// Convenience: full (single-batch) SUMMA3D over a distributed `B`
 /// (Alg. 2 as published, without batching). Returns this rank's `C` piece.
+/// Spins up a one-shot [`LocalKernels`] engine; callers that run many
+/// batches should call [`summa3d_batch`] with a long-lived engine instead.
 pub fn summa3d<S: Semiring>(
     rank: &mut Rank,
     grid: &Grid3D,
@@ -97,6 +99,7 @@ pub fn summa3d<S: Semiring>(
     r: usize,
     mem: &mut MemTracker,
 ) -> Result<CPiece<S::T>> {
+    let mut kernels = LocalKernels::new(strategy);
     let a_shared = Arc::new(a.local.clone());
     let b_shared = Arc::new(b.local.clone());
     let gcols: Vec<u32> = b.col_range(grid).map(|c| c as u32).collect();
@@ -114,7 +117,7 @@ pub fn summa3d<S: Semiring>(
         &b_shared,
         &gcols,
         &offsets,
-        strategy,
+        &mut kernels,
         MergeSchedule::AfterAllStages,
         r,
         mem,

@@ -13,10 +13,10 @@
 //! matrices relative to the perfectly-balanced Eq. 2 bound.
 
 use crate::dist::DistMatrix;
+use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::MemoryBudget;
 use crate::{CoreError, Result};
 use spgemm_simgrid::{Grid3D, Rank, Step};
-use spgemm_sparse::spgemm::symbolic::symbolic_col_counts;
 use spgemm_sparse::Semiring;
 use std::sync::Arc;
 
@@ -68,18 +68,24 @@ pub fn symbolic3d<S: Semiring>(
     b: &DistMatrix<S::T>,
     budget: &MemoryBudget,
 ) -> Result<SymbolicOutcome> {
-    symbolic3d_with_weights::<S>(rank, grid, a, b, budget).map(|(o, _)| o)
+    let mut kernels = LocalKernels::new(KernelStrategy::default());
+    symbolic3d_with_weights::<S>(rank, grid, a, b, budget, &mut kernels).map(|(o, _)| o)
 }
 
 /// [`symbolic3d`] plus this rank's per-local-column unmerged intermediate
 /// counts (the weights that drive
 /// [`crate::batched::BatchingStrategy::Balanced`] batching).
+///
+/// `kernels` supplies the reusable symbolic accumulator; passing the same
+/// engine later used for the numeric batches means the hash table warmed
+/// up here is already sized when the numeric sweep begins.
 pub fn symbolic3d_with_weights<S: Semiring>(
     rank: &mut Rank,
     grid: &Grid3D,
     a: &DistMatrix<S::T>,
     b: &DistMatrix<S::T>,
     budget: &MemoryBudget,
+    kernels: &mut LocalKernels<S::T>,
 ) -> Result<(SymbolicOutcome, Vec<u64>)> {
     let stages = grid.pr;
     let a_shared = Arc::new(a.local.clone());
@@ -109,7 +115,7 @@ pub fn symbolic3d_with_weights<S: Semiring>(
             b.local.modeled_bytes(r),
             Step::SymbolicComm,
         );
-        let (counts, stats) = symbolic_col_counts(&*a_recv, &*b_recv)?;
+        let (counts, stats) = kernels.symbolic_col_counts(&*a_recv, &*b_recv)?;
         rank.compute(Step::SymbolicComp, stats.work_units);
         my_unmerged += stats.nnz_out;
         my_flops += stats.flops;

@@ -36,5 +36,5 @@ pub use comm::{Comm, Rank};
 pub use cost::Machine;
 pub use grid::{Grid2D, Grid3D};
 pub use runtime::run_ranks;
-pub use stats::{max_breakdown, StepReport};
+pub use stats::{max_breakdown, KernelCounters, StepReport};
 pub use trace::{chrome_trace_json, TraceEvent};

@@ -35,10 +35,28 @@ const REPORT_STEPS: [Step; 8] = [
     Step::Wait,
 ];
 
-/// A table of labeled configurations × step breakdowns.
+/// Kernel-side resource counters attached to a report row: how often the
+/// local kernels hit the heap allocator, the workspace scratch high-water
+/// mark, and the exact-size copy-out volume. The simgrid crate knows
+/// nothing about the sparse kernels — callers (the bench harnesses) fill
+/// these from whatever `WorkStats`-like totals their run produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Heap allocation events in kernel hot paths (arena/table growth plus
+    /// exact-size output copies), summed over ranks.
+    pub allocs: u64,
+    /// Peak reusable-workspace scratch bytes (max over ranks).
+    pub peak_scratch_bytes: u64,
+    /// Bytes copied out of workspaces into finished outputs, summed.
+    pub memcpy_bytes: u64,
+}
+
+/// A table of labeled configurations × step breakdowns, optionally with
+/// per-row [`KernelCounters`].
 #[derive(Debug, Clone, Default)]
 pub struct StepReport {
     rows: Vec<(String, StepBreakdown)>,
+    counters: Vec<Option<KernelCounters>>,
 }
 
 impl StepReport {
@@ -50,11 +68,35 @@ impl StepReport {
     /// Append a labeled configuration.
     pub fn push(&mut self, label: impl Into<String>, breakdown: StepBreakdown) {
         self.rows.push((label.into(), breakdown));
+        self.counters.push(None);
+    }
+
+    /// Append a labeled configuration with kernel counters; the rendered
+    /// table/CSV grow `allocs`/`peak_scratch`/`memcpy` columns once any
+    /// row carries counters.
+    pub fn push_with_counters(
+        &mut self,
+        label: impl Into<String>,
+        breakdown: StepBreakdown,
+        counters: KernelCounters,
+    ) {
+        self.rows.push((label.into(), breakdown));
+        self.counters.push(Some(counters));
     }
 
     /// Labeled rows in insertion order.
     pub fn rows(&self) -> &[(String, StepBreakdown)] {
         &self.rows
+    }
+
+    /// Kernel counters per row (same order as [`Self::rows`]); `None` for
+    /// rows pushed without counters.
+    pub fn counters(&self) -> &[Option<KernelCounters>] {
+        &self.counters
+    }
+
+    fn has_counters(&self) -> bool {
+        self.counters.iter().any(|c| c.is_some())
     }
 
     fn symbolic_secs(b: &StepBreakdown) -> f64 {
@@ -76,8 +118,13 @@ impl StepReport {
             let name = if s == Step::SymbolicComm { "Symbolic" } else { s.label() };
             out.push_str(&format!(" {name:>14}"));
         }
-        out.push_str(&format!(" {:>14}\n", "Total"));
-        for (label, b) in &self.rows {
+        out.push_str(&format!(" {:>14}", "Total"));
+        let with_counters = self.has_counters();
+        if with_counters {
+            out.push_str(&format!(" {:>12} {:>14} {:>14}", "Allocs", "PeakScratchB", "MemcpyB"));
+        }
+        out.push('\n');
+        for ((label, b), cnt) in self.rows.iter().zip(&self.counters) {
             out.push_str(&format!("{label:label_w$}"));
             for s in REPORT_STEPS {
                 let v = if s == Step::SymbolicComm {
@@ -87,7 +134,17 @@ impl StepReport {
                 };
                 out.push_str(&format!(" {v:>14.4}"));
             }
-            out.push_str(&format!(" {:>14.4}\n", b.total()));
+            out.push_str(&format!(" {:>14.4}", b.total()));
+            if with_counters {
+                match cnt {
+                    Some(c) => out.push_str(&format!(
+                        " {:>12} {:>14} {:>14}",
+                        c.allocs, c.peak_scratch_bytes, c.memcpy_bytes
+                    )),
+                    None => out.push_str(&format!(" {:>12} {:>14} {:>14}", "-", "-", "-")),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -98,18 +155,33 @@ impl StepReport {
         for s in ALL_STEPS {
             out.push_str(&format!(",{}", s.label()));
         }
-        out.push_str(",total,comm_total,comp_total\n");
-        for (label, b) in &self.rows {
+        out.push_str(",total,comm_total,comp_total");
+        let with_counters = self.has_counters();
+        if with_counters {
+            out.push_str(",allocs,peak_scratch_bytes,memcpy_bytes");
+        }
+        out.push('\n');
+        for ((label, b), cnt) in self.rows.iter().zip(&self.counters) {
             out.push_str(label);
             for s in ALL_STEPS {
                 out.push_str(&format!(",{:.6e}", b.secs_of(s)));
             }
             out.push_str(&format!(
-                ",{:.6e},{:.6e},{:.6e}\n",
+                ",{:.6e},{:.6e},{:.6e}",
                 b.total(),
                 b.comm_total(),
                 b.comp_total()
             ));
+            if with_counters {
+                match cnt {
+                    Some(c) => out.push_str(&format!(
+                        ",{},{},{}",
+                        c.allocs, c.peak_scratch_bytes, c.memcpy_bytes
+                    )),
+                    None => out.push_str(",,,"),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -146,6 +218,39 @@ mod tests {
         let csv = r.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("config,"));
+    }
+
+    #[test]
+    fn counters_add_columns_only_when_present() {
+        let mut r = StepReport::new();
+        r.push("plain", bd(1.0, 2.0));
+        assert!(!r.to_table().contains("Allocs"));
+        assert!(!r.to_csv().contains("allocs"));
+        r.push_with_counters(
+            "metered",
+            bd(0.5, 1.0),
+            KernelCounters {
+                allocs: 42,
+                peak_scratch_bytes: 4096,
+                memcpy_bytes: 1234,
+            },
+        );
+        let t = r.to_table();
+        assert!(t.contains("Allocs") && t.contains("PeakScratchB") && t.contains("MemcpyB"));
+        assert!(t.contains("42") && t.contains("4096"));
+        let csv = r.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("allocs,peak_scratch_bytes,memcpy_bytes"));
+        // The counter-less row renders empty counter cells, keeping the
+        // column count uniform.
+        let plain_line = csv.lines().find(|l| l.starts_with("plain")).unwrap();
+        let metered_line = csv.lines().find(|l| l.starts_with("metered")).unwrap();
+        assert_eq!(
+            plain_line.matches(',').count(),
+            metered_line.matches(',').count()
+        );
+        assert!(metered_line.ends_with("42,4096,1234"));
+        assert_eq!(r.counters().len(), 2);
+        assert!(r.counters()[0].is_none());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod triples;
 pub use csc::CscMatrix;
 pub use dcsc::DcscMatrix;
 pub use semiring::{BoolOrAnd, MaxMinF64, MinPlusF64, PlusTimesF64, PlusTimesI64, PlusTimesU64, Semiring};
-pub use spgemm::WorkStats;
+pub use spgemm::{SpGemmWorkspace, WorkStats};
 pub use triples::Triples;
 
 /// Errors produced by this crate.

@@ -8,6 +8,7 @@
 use crate::csc::CscMatrix;
 use crate::semiring::Semiring;
 use crate::spgemm::accum::HashAccum;
+use crate::spgemm::workspace::SpGemmWorkspace;
 use crate::spgemm::{lg, WorkStats, C_DRAIN, C_MERGE_HASH, C_SORT};
 use crate::Result;
 
@@ -15,7 +16,7 @@ use super::common_shape;
 
 /// Merge (⊕-sum) same-shaped matrices; unsorted output columns.
 pub fn merge_hash_unsorted<S: Semiring>(parts: &[CscMatrix<S::T>]) -> Result<(CscMatrix<S::T>, WorkStats)> {
-    merge_hash_impl::<S>(parts, false)
+    merge_hash_impl::<S>(parts, false, &mut SpGemmWorkspace::new())
 }
 
 /// Merge (⊕-sum) same-shaped matrices; sorted output columns.
@@ -23,38 +24,57 @@ pub fn merge_hash_unsorted<S: Semiring>(parts: &[CscMatrix<S::T>]) -> Result<(Cs
 /// Used for the final Merge-Fiber, after which the application sees a
 /// conventionally sorted matrix.
 pub fn merge_hash_sorted<S: Semiring>(parts: &[CscMatrix<S::T>]) -> Result<(CscMatrix<S::T>, WorkStats)> {
-    merge_hash_impl::<S>(parts, true)
+    merge_hash_impl::<S>(parts, true, &mut SpGemmWorkspace::new())
+}
+
+/// [`merge_hash_unsorted`] against caller-owned reusable scratch.
+pub fn merge_hash_unsorted_with_workspace<S: Semiring>(
+    parts: &[CscMatrix<S::T>],
+    ws: &mut SpGemmWorkspace<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    merge_hash_impl::<S>(parts, false, ws)
+}
+
+/// [`merge_hash_sorted`] against caller-owned reusable scratch.
+pub fn merge_hash_sorted_with_workspace<S: Semiring>(
+    parts: &[CscMatrix<S::T>],
+    ws: &mut SpGemmWorkspace<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    merge_hash_impl::<S>(parts, true, ws)
 }
 
 fn merge_hash_impl<S: Semiring>(
     parts: &[CscMatrix<S::T>],
     sort: bool,
+    ws: &mut SpGemmWorkspace<S::T>,
 ) -> Result<(CscMatrix<S::T>, WorkStats)> {
     let (nrows, ncols) = common_shape(parts)?;
-    // Single input: merging is the identity (plus an optional sort).
-    if parts.len() == 1 {
-        let mut only = parts[0].clone();
-        let mut stats = WorkStats {
+    // Single input needing no sort: merging is the identity. The clone
+    // bypasses the arenas, so no workspace traffic to meter. (A single
+    // *unsorted* input falls through to the general path below: draining
+    // the accumulator sorted through the arenas is allocation-free,
+    // unlike an in-place per-column sort of the clone.)
+    if parts.len() == 1 && (!sort || parts[0].is_sorted()) {
+        let only = parts[0].clone();
+        let stats = WorkStats {
             flops: 0,
             nnz_out: only.nnz() as u64,
             work_units: 0.0,
+            ..WorkStats::default()
         };
-        if sort && !only.is_sorted() {
-            stats.work_units += only.nnz() as f64 * lg(only.nnz() / only.ncols().max(1)) * C_SORT;
-            only.sort_columns();
-        }
         return Ok((only, stats));
     }
-    let mut colptr = vec![0usize; ncols + 1];
-    let mut rowidx: Vec<u32> = Vec::new();
-    let mut vals: Vec<S::T> = Vec::new();
-    let mut acc: HashAccum<S::T> = HashAccum::new(S::zero());
+    let allocs_before = ws.total_allocs();
+    let total_nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+    ws.prepare_output(ncols, total_nnz);
     let mut stats = WorkStats::default();
+    let acc = ws.accum.get_or_insert_with(|| HashAccum::new(S::zero()));
+    ws.colptr.push(0);
 
     for j in 0..ncols {
         let total_in: usize = parts.iter().map(|p| p.col_nnz(j)).sum();
         if total_in == 0 {
-            colptr[j + 1] = rowidx.len();
+            ws.colptr.push(ws.rowidx.len());
             continue;
         }
         acc.reset(total_in);
@@ -64,22 +84,25 @@ fn merge_hash_impl<S: Semiring>(
                 acc.accumulate::<S>(r, v);
             }
         }
-        let before = rowidx.len();
+        let before = ws.rowidx.len();
         if sort {
-            acc.drain_into_sorted(&mut rowidx, &mut vals);
+            acc.drain_into_sorted(&mut ws.rowidx, &mut ws.vals);
         } else {
-            acc.drain_into(&mut rowidx, &mut vals);
+            acc.drain_into(&mut ws.rowidx, &mut ws.vals);
         }
-        let produced = rowidx.len() - before;
+        let produced = ws.rowidx.len() - before;
         stats.nnz_out += produced as u64;
         stats.work_units += total_in as f64 * C_MERGE_HASH + produced as f64 * C_DRAIN;
         if sort {
             stats.work_units += produced as f64 * lg(produced) * C_SORT;
         }
-        colptr[j + 1] = rowidx.len();
+        ws.colptr.push(ws.rowidx.len());
     }
-    let trivially_sorted = colptr.windows(2).all(|w| w[1] - w[0] <= 1);
-    let c = CscMatrix::from_parts_unchecked(nrows, ncols, colptr, rowidx, vals, sort || trivially_sorted);
+    let trivially_sorted = ws.colptr.windows(2).all(|w| w[1] - w[0] <= 1);
+    let (c, copied) = ws.take_output(nrows, ncols, sort || trivially_sorted);
+    stats.allocs = ws.total_allocs() - allocs_before;
+    stats.peak_scratch_bytes = ws.peak_scratch_bytes();
+    stats.memcpy_bytes = copied;
     Ok((c, stats))
 }
 

@@ -7,15 +7,26 @@
 
 use crate::csc::CscMatrix;
 use crate::semiring::Semiring;
+use crate::spgemm::workspace::SpGemmWorkspace;
 use crate::spgemm::{lg, WorkStats, C_MERGE_HEAP};
 use crate::{Result, SparseError};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use super::common_shape;
 
 /// Merge (⊕-sum) same-shaped *sorted* matrices; sorted output.
+/// Convenience wrapper over [`merge_heap_with_workspace`] with a
+/// throwaway workspace.
 pub fn merge_heap<S: Semiring>(parts: &[CscMatrix<S::T>]) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    merge_heap_with_workspace::<S>(parts, &mut SpGemmWorkspace::new())
+}
+
+/// [`merge_heap`] against caller-owned reusable scratch (heap, cursors,
+/// and output arenas). Bit-identical output.
+pub fn merge_heap_with_workspace<S: Semiring>(
+    parts: &[CscMatrix<S::T>],
+    ws: &mut SpGemmWorkspace<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
     let (nrows, ncols) = common_shape(parts)?;
     if parts.iter().any(|p| !p.is_sorted()) {
         return Err(SparseError::InvalidStructure(
@@ -23,52 +34,56 @@ pub fn merge_heap<S: Semiring>(parts: &[CscMatrix<S::T>]) -> Result<(CscMatrix<S
         ));
     }
     let k = parts.len();
+    let allocs_before = ws.total_allocs();
     let total_nnz: usize = parts.iter().map(|p| p.nnz()).sum();
-    let mut colptr = vec![0usize; ncols + 1];
-    let mut rowidx: Vec<u32> = Vec::with_capacity(total_nnz);
-    let mut vals: Vec<S::T> = Vec::with_capacity(total_nnz);
+    ws.prepare_output(ncols, total_nnz);
+    ws.ensure_streams(k);
+    ws.cursors.clear();
+    ws.cursors.resize(k, 0);
     let mut stats = WorkStats::default();
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    let mut cursors: Vec<usize> = vec![0; k];
+    ws.colptr.push(0);
 
     for j in 0..ncols {
-        heap.clear();
+        ws.heap.clear();
         let mut col_in = 0usize;
         for (s, p) in parts.iter().enumerate() {
-            cursors[s] = 0;
+            ws.cursors[s] = 0;
             let (rows, _) = p.col(j);
             col_in += rows.len();
             if !rows.is_empty() {
-                heap.push(Reverse((rows[0], s as u32)));
+                ws.heap.push(Reverse((rows[0], s as u32)));
             }
         }
-        let col_start = rowidx.len();
-        while let Some(Reverse((row, s))) = heap.pop() {
+        let col_start = ws.rowidx.len();
+        while let Some(Reverse((row, s))) = ws.heap.pop() {
             let si = s as usize;
             let (rows, vs) = parts[si].col(j);
-            let pos = cursors[si];
+            let pos = ws.cursors[si];
             let v = vs[pos];
-            match rowidx.last() {
-                Some(&last) if last == row && rowidx.len() > col_start => {
-                    let dst = vals.last_mut().unwrap();
+            match ws.rowidx.last() {
+                Some(&last) if last == row && ws.rowidx.len() > col_start => {
+                    let dst = ws.vals.last_mut().unwrap();
                     *dst = S::add(*dst, v);
                 }
                 _ => {
-                    rowidx.push(row);
-                    vals.push(v);
+                    ws.rowidx.push(row);
+                    ws.vals.push(v);
                 }
             }
-            cursors[si] = pos + 1;
+            ws.cursors[si] = pos + 1;
             if pos + 1 < rows.len() {
-                heap.push(Reverse((rows[pos + 1], s)));
+                ws.heap.push(Reverse((rows[pos + 1], s)));
             }
         }
-        let produced = rowidx.len() - col_start;
+        let produced = ws.rowidx.len() - col_start;
         stats.nnz_out += produced as u64;
         stats.work_units += col_in as f64 * lg(k) * C_MERGE_HEAP;
-        colptr[j + 1] = rowidx.len();
+        ws.colptr.push(ws.rowidx.len());
     }
-    let c = CscMatrix::from_parts_unchecked(nrows, ncols, colptr, rowidx, vals, true);
+    let (c, copied) = ws.take_output(nrows, ncols, true);
+    stats.allocs = ws.total_allocs() - allocs_before;
+    stats.peak_scratch_bytes = ws.peak_scratch_bytes();
+    stats.memcpy_bytes = copied;
     debug_assert!(c.check_sorted());
     Ok((c, stats))
 }

@@ -21,6 +21,8 @@ pub struct HashAccum<T> {
     mask: usize,
     /// Total probe steps since construction (cost-model diagnostics).
     probes: u64,
+    /// Heap allocations performed by table growth since construction.
+    grows: u64,
     fill: T,
 }
 
@@ -34,6 +36,7 @@ impl<T: Copy> HashAccum<T> {
             occupied: Vec::new(),
             mask: 0,
             probes: 0,
+            grows: 0,
             fill,
         }
     }
@@ -46,6 +49,8 @@ impl<T: Copy> HashAccum<T> {
             self.keys = vec![EMPTY; want];
             self.vals = vec![self.fill; want];
             self.mask = want - 1;
+            // Two fresh buffers (keys + vals); capacity only ever grows.
+            self.grows += 2;
         } else {
             for &slot in &self.occupied {
                 self.keys[slot as usize] = EMPTY;
@@ -69,6 +74,19 @@ impl<T: Copy> HashAccum<T> {
     /// Total linear-probe steps performed so far.
     pub fn probes(&self) -> u64 {
         self.probes
+    }
+
+    /// Heap allocations performed by table growth so far (two buffers per
+    /// growth event; never decreases — the table only grows).
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Bytes currently held by the table and its occupancy list.
+    pub fn footprint_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<T>()
+            + self.occupied.capacity() * std::mem::size_of::<u32>()
     }
 
     #[inline]
@@ -130,17 +148,16 @@ impl<T: Copy> HashAccum<T> {
     }
 
     /// Append stored `(key, value)` pairs sorted ascending by key.
+    ///
+    /// Allocation-free: the occupancy list is sorted by key in place and
+    /// then drained in that order. Reordering `occupied` is safe — its
+    /// insertion order only matters to [`Self::drain_into`], and after a
+    /// drain the next [`Self::reset`] clears it regardless of order.
     pub fn drain_into_sorted(&mut self, rows: &mut Vec<u32>, vals: &mut Vec<T>) {
-        let start = rows.len();
+        let keys = &self.keys;
+        self.occupied
+            .sort_unstable_by_key(|&slot| keys[slot as usize]);
         self.drain_into(rows, vals);
-        let seg = &mut rows[start..];
-        let mut perm: Vec<u32> = (0..seg.len() as u32).collect();
-        perm.sort_unstable_by_key(|&i| seg[i as usize]);
-        let sorted_rows: Vec<u32> = perm.iter().map(|&i| seg[i as usize]).collect();
-        seg.copy_from_slice(&sorted_rows);
-        let vseg = &mut vals[start..];
-        let sorted_vals: Vec<T> = perm.iter().map(|&i| vseg[i as usize]).collect();
-        vseg.copy_from_slice(&sorted_vals);
     }
 }
 
@@ -200,6 +217,37 @@ mod tests {
         }
         assert_eq!(acc.len(), 64);
         assert!(acc.probes() >= 64);
+    }
+
+    #[test]
+    fn growth_and_footprint_are_tracked() {
+        let mut acc = HashAccum::new(0u64);
+        assert_eq!(acc.grows(), 0);
+        acc.reset(4);
+        assert_eq!(acc.grows(), 2, "first reset allocates keys + vals");
+        acc.reset(4);
+        assert_eq!(acc.grows(), 2, "reuse at same size must not allocate");
+        acc.reset(1000);
+        assert_eq!(acc.grows(), 4, "growing past capacity reallocates");
+        // 1000 keys → 2048-slot table: keys and vals are 8 bytes per slot.
+        assert!(acc.footprint_bytes() >= 2048 * (4 + 8));
+    }
+
+    #[test]
+    fn sorted_drain_after_reuse_stays_sorted() {
+        // Reordering `occupied` in a sorted drain must not corrupt later
+        // resets or drains on the same table.
+        let mut acc = HashAccum::new(0u64);
+        for round in 0..3u64 {
+            acc.reset(16);
+            for k in [9u32, 2, 14, 2, 5] {
+                acc.accumulate::<PlusTimesU64>(k, round + 1);
+            }
+            let (mut r, mut v) = (Vec::new(), Vec::new());
+            acc.drain_into_sorted(&mut r, &mut v);
+            assert_eq!(r, vec![2, 5, 9, 14], "round {round}");
+            assert_eq!(v, vec![2 * (round + 1), round + 1, round + 1, round + 1]);
+        }
     }
 
     #[test]

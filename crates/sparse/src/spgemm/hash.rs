@@ -6,6 +6,7 @@
 //! sorts once, after Merge-Fiber.
 
 use super::accum::HashAccum;
+use super::workspace::SpGemmWorkspace;
 use super::{WorkStats, C_DRAIN, C_HASH_FLOP};
 use crate::csc::CscMatrix;
 use crate::semiring::Semiring;
@@ -14,10 +15,26 @@ use crate::{Result, SparseError};
 /// Multiply `a · b` with hash accumulation; unsorted output columns.
 ///
 /// Works with sorted or unsorted inputs. Returns the product and the work
-/// performed (`flops` = scalar multiplications).
+/// performed (`flops` = scalar multiplications). Convenience wrapper over
+/// [`spgemm_hash_unsorted_with_workspace`] with a throwaway workspace; hot
+/// paths (one multiply per SUMMA stage per batch) should hold a long-lived
+/// [`SpGemmWorkspace`] instead.
 pub fn spgemm_hash_unsorted<S: Semiring>(
     a: &CscMatrix<S::T>,
     b: &CscMatrix<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    spgemm_hash_unsorted_with_workspace::<S>(a, b, &mut SpGemmWorkspace::new())
+}
+
+/// [`spgemm_hash_unsorted`] against caller-owned reusable scratch.
+///
+/// Bit-identical output to the plain entry point (it is the same code);
+/// with a warmed-up workspace the call performs only the exact-size output
+/// copies instead of re-growing every buffer from empty.
+pub fn spgemm_hash_unsorted_with_workspace<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+    ws: &mut SpGemmWorkspace<S::T>,
 ) -> Result<(CscMatrix<S::T>, WorkStats)> {
     if a.ncols() != b.nrows() {
         return Err(SparseError::DimensionMismatch {
@@ -26,11 +43,17 @@ pub fn spgemm_hash_unsorted<S: Semiring>(
         });
     }
     let n_out = b.ncols();
-    let mut colptr = vec![0usize; n_out + 1];
-    let mut rowidx: Vec<u32> = Vec::new();
-    let mut vals: Vec<S::T> = Vec::new();
-    let mut acc: HashAccum<S::T> = HashAccum::new(S::zero());
+    let allocs_before = ws.total_allocs();
+    // Arena upper bound: the flop count Σ_j Σ_{i∈B(:,j)} nnz(A(:,i)) also
+    // bounds the output nnz (one entry per multiply before accumulation).
+    let mut total_ub = 0usize;
+    for &i in b.rowidx() {
+        total_ub += a.col_nnz(i as usize);
+    }
+    ws.prepare_output(n_out, total_ub);
     let mut stats = WorkStats::default();
+    let acc = ws.accum.get_or_insert_with(|| HashAccum::new(S::zero()));
+    ws.colptr.push(0);
 
     for j in 0..n_out {
         let (b_rows, b_vals) = b.col(j);
@@ -47,19 +70,22 @@ pub fn spgemm_hash_unsorted<S: Semiring>(
                     acc.accumulate::<S>(r, S::mul(av, bv));
                 }
             }
-            let before = rowidx.len();
-            acc.drain_into(&mut rowidx, &mut vals);
-            let produced = rowidx.len() - before;
+            let before = ws.rowidx.len();
+            acc.drain_into(&mut ws.rowidx, &mut ws.vals);
+            let produced = ws.rowidx.len() - before;
             stats.flops += ub as u64;
             stats.nnz_out += produced as u64;
             stats.work_units += ub as f64 * C_HASH_FLOP + produced as f64 * C_DRAIN;
         }
-        colptr[j + 1] = rowidx.len();
+        ws.colptr.push(ws.rowidx.len());
     }
     // Columns of length ≤ 1 are trivially sorted; keeps the flag honest for
     // degenerate outputs without scanning row indices.
-    let sorted = colptr.windows(2).all(|w| w[1] - w[0] <= 1);
-    let c = CscMatrix::from_parts_unchecked(a.nrows(), n_out, colptr, rowidx, vals, sorted);
+    let sorted = ws.colptr.windows(2).all(|w| w[1] - w[0] <= 1);
+    let (c, copied) = ws.take_output(a.nrows(), n_out, sorted);
+    stats.allocs = ws.total_allocs() - allocs_before;
+    stats.peak_scratch_bytes = ws.peak_scratch_bytes();
+    stats.memcpy_bytes = copied;
     Ok((c, stats))
 }
 

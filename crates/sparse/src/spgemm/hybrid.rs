@@ -9,12 +9,12 @@
 //! difference.
 
 use super::accum::HashAccum;
+use super::workspace::SpGemmWorkspace;
 use super::{lg, WorkStats, C_HASH_FLOP, C_HEAP_FLOP, C_SORT};
 use crate::csc::CscMatrix;
 use crate::semiring::Semiring;
 use crate::{Result, SparseError};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Streams-per-column threshold below which the heap path wins (few streams
 /// mean the log factor is tiny and the heap's sorted output is free).
@@ -24,9 +24,21 @@ const HEAP_STREAMS_MAX: usize = 4;
 ///
 /// Requires sorted `a` (the heap path consumes sorted columns, matching the
 /// prior-work pipeline where every intermediate was kept sorted).
+/// Convenience wrapper over [`spgemm_hybrid_with_workspace`] with a
+/// throwaway workspace.
 pub fn spgemm_hybrid<S: Semiring>(
     a: &CscMatrix<S::T>,
     b: &CscMatrix<S::T>,
+) -> Result<(CscMatrix<S::T>, WorkStats)> {
+    spgemm_hybrid_with_workspace::<S>(a, b, &mut SpGemmWorkspace::new())
+}
+
+/// [`spgemm_hybrid`] against caller-owned reusable scratch (hash table,
+/// merge heap, cursors, and output arenas). Bit-identical output.
+pub fn spgemm_hybrid_with_workspace<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+    ws: &mut SpGemmWorkspace<S::T>,
 ) -> Result<(CscMatrix<S::T>, WorkStats)> {
     if a.ncols() != b.nrows() {
         return Err(SparseError::DimensionMismatch {
@@ -40,55 +52,58 @@ pub fn spgemm_hybrid<S: Semiring>(
         ));
     }
     let n_out = b.ncols();
-    let mut colptr = vec![0usize; n_out + 1];
-    let mut rowidx: Vec<u32> = Vec::new();
-    let mut vals: Vec<S::T> = Vec::new();
+    let allocs_before = ws.total_allocs();
+    let mut total_ub = 0usize;
+    for &i in b.rowidx() {
+        total_ub += a.col_nnz(i as usize);
+    }
+    ws.prepare_output(n_out, total_ub);
+    ws.ensure_streams(HEAP_STREAMS_MAX);
     let mut stats = WorkStats::default();
-    let mut acc: HashAccum<S::T> = HashAccum::new(S::zero());
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    let mut cursors: Vec<usize> = Vec::new();
+    let acc = ws.accum.get_or_insert_with(|| HashAccum::new(S::zero()));
+    ws.colptr.push(0);
 
     for j in 0..n_out {
         let (b_rows, b_vals) = b.col(j);
         let k = b_rows.len();
         if k == 0 {
-            colptr[j + 1] = rowidx.len();
+            ws.colptr.push(ws.rowidx.len());
             continue;
         }
         let mut col_flops = 0u64;
         for &i in b_rows {
             col_flops += a.col_nnz(i as usize) as u64;
         }
-        let col_start = rowidx.len();
+        let col_start = ws.rowidx.len();
         if k <= HEAP_STREAMS_MAX {
             // Heap path: sorted output for free.
-            heap.clear();
-            cursors.clear();
-            cursors.resize(k, 0);
+            ws.heap.clear();
+            ws.cursors.clear();
+            ws.cursors.resize(k, 0);
             for (s, &i) in b_rows.iter().enumerate() {
                 let (a_rows, _) = a.col(i as usize);
                 if !a_rows.is_empty() {
-                    heap.push(Reverse((a_rows[0], s as u32)));
+                    ws.heap.push(Reverse((a_rows[0], s as u32)));
                 }
             }
-            while let Some(Reverse((row, s))) = heap.pop() {
+            while let Some(Reverse((row, s))) = ws.heap.pop() {
                 let s = s as usize;
                 let (a_rows, a_vals) = a.col(b_rows[s] as usize);
-                let pos = cursors[s];
+                let pos = ws.cursors[s];
                 let prod = S::mul(a_vals[pos], b_vals[s]);
-                match rowidx.last() {
-                    Some(&last) if last == row && rowidx.len() > col_start => {
-                        let v = vals.last_mut().unwrap();
+                match ws.rowidx.last() {
+                    Some(&last) if last == row && ws.rowidx.len() > col_start => {
+                        let v = ws.vals.last_mut().unwrap();
                         *v = S::add(*v, prod);
                     }
                     _ => {
-                        rowidx.push(row);
-                        vals.push(prod);
+                        ws.rowidx.push(row);
+                        ws.vals.push(prod);
                     }
                 }
-                cursors[s] = pos + 1;
+                ws.cursors[s] = pos + 1;
                 if pos + 1 < a_rows.len() {
-                    heap.push(Reverse((a_rows[pos + 1], s as u32)));
+                    ws.heap.push(Reverse((a_rows[pos + 1], s as u32)));
                 }
             }
             stats.work_units += col_flops as f64 * lg(k) * C_HEAP_FLOP;
@@ -101,17 +116,20 @@ pub fn spgemm_hybrid<S: Semiring>(
                     acc.accumulate::<S>(r, S::mul(av, bv));
                 }
             }
-            acc.drain_into_sorted(&mut rowidx, &mut vals);
-            let produced = rowidx.len() - col_start;
+            acc.drain_into_sorted(&mut ws.rowidx, &mut ws.vals);
+            let produced = ws.rowidx.len() - col_start;
             stats.work_units +=
                 col_flops as f64 * C_HASH_FLOP + produced as f64 * lg(produced) * C_SORT;
         }
-        let produced = rowidx.len() - col_start;
+        let produced = ws.rowidx.len() - col_start;
         stats.flops += col_flops;
         stats.nnz_out += produced as u64;
-        colptr[j + 1] = rowidx.len();
+        ws.colptr.push(ws.rowidx.len());
     }
-    let c = CscMatrix::from_parts_unchecked(a.nrows(), n_out, colptr, rowidx, vals, true);
+    let (c, copied) = ws.take_output(a.nrows(), n_out, true);
+    stats.allocs = ws.total_allocs() - allocs_before;
+    stats.peak_scratch_bytes = ws.peak_scratch_bytes();
+    stats.memcpy_bytes = copied;
     debug_assert!(c.check_sorted());
     Ok((c, stats))
 }

@@ -30,13 +30,15 @@ pub mod hash;
 pub mod heap;
 pub mod hybrid;
 pub mod symbolic;
+pub mod workspace;
 
 pub use dense_acc::spgemm_spa;
 pub use esc::spgemm_esc;
-pub use hash::spgemm_hash_unsorted;
+pub use hash::{spgemm_hash_unsorted, spgemm_hash_unsorted_with_workspace};
 pub use heap::spgemm_heap;
-pub use hybrid::spgemm_hybrid;
-pub use symbolic::{symbolic_col_counts, symbolic_nnz};
+pub use hybrid::{spgemm_hybrid, spgemm_hybrid_with_workspace};
+pub use symbolic::{symbolic_col_counts, symbolic_col_counts_with_workspace, symbolic_nnz};
+pub use workspace::SpGemmWorkspace;
 
 /// Work performed by a local kernel, in both physical and modeled units.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -49,25 +51,38 @@ pub struct WorkStats {
     /// multiplied by a machine's seconds-per-unit and divided by its
     /// threads-per-process).
     pub work_units: f64,
+    /// Heap allocations performed for scratch and output during the
+    /// invocation (vector growth events, accumulator-table growths, and
+    /// the exact-size output copies). Zero-cost in the α–β model but the
+    /// quantity the workspace reuse of Sec. IV-D's "reusable workhorse
+    /// collections" eliminates; see the `criterion_workspace` bench.
+    pub allocs: u64,
+    /// High-water mark of reusable scratch (accumulator tables, output
+    /// arenas, heap/cursor buffers) in bytes. Aggregates by `max`, not sum.
+    pub peak_scratch_bytes: u64,
+    /// Bytes copied from reusable arenas into finished (exact-size)
+    /// outputs.
+    pub memcpy_bytes: u64,
 }
 
 impl WorkStats {
-    /// Accumulate another kernel invocation's stats.
+    /// Accumulate another kernel invocation's stats. Counters sum except
+    /// `peak_scratch_bytes`, which is a high-water mark (max).
     pub fn merge(&mut self, other: WorkStats) {
         self.flops += other.flops;
         self.nnz_out += other.nnz_out;
         self.work_units += other.work_units;
+        self.allocs += other.allocs;
+        self.peak_scratch_bytes = self.peak_scratch_bytes.max(other.peak_scratch_bytes);
+        self.memcpy_bytes += other.memcpy_bytes;
     }
 }
 
 impl std::ops::Add for WorkStats {
     type Output = WorkStats;
-    fn add(self, rhs: WorkStats) -> WorkStats {
-        WorkStats {
-            flops: self.flops + rhs.flops,
-            nnz_out: self.nnz_out + rhs.nnz_out,
-            work_units: self.work_units + rhs.work_units,
-        }
+    fn add(mut self, rhs: WorkStats) -> WorkStats {
+        self.merge(rhs);
+        self
     }
 }
 
@@ -101,15 +116,24 @@ mod tests {
             flops: 10,
             nnz_out: 4,
             work_units: 12.5,
+            allocs: 3,
+            peak_scratch_bytes: 100,
+            memcpy_bytes: 64,
         };
         a.merge(WorkStats {
             flops: 5,
             nnz_out: 1,
             work_units: 2.5,
+            allocs: 2,
+            peak_scratch_bytes: 250,
+            memcpy_bytes: 16,
         });
         assert_eq!(a.flops, 15);
         assert_eq!(a.nnz_out, 5);
         assert!((a.work_units - 15.0).abs() < 1e-12);
+        assert_eq!(a.allocs, 5);
+        assert_eq!(a.peak_scratch_bytes, 250, "peak is a high-water mark");
+        assert_eq!(a.memcpy_bytes, 80);
     }
 
     #[test]

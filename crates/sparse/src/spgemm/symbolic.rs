@@ -4,7 +4,7 @@
 //! multiply (no value traffic, no output materialization), which is why the
 //! paper's Symbolic3D step is communication-dominated (Fig. 8).
 
-use super::accum::HashAccum;
+use super::workspace::SpGemmWorkspace;
 use super::{WorkStats, C_DRAIN, C_HASH_FLOP};
 use crate::csc::CscMatrix;
 use crate::{Result, SparseError};
@@ -13,10 +13,25 @@ use crate::{Result, SparseError};
 ///
 /// Returns `(col_counts, stats)` where `col_counts[j] = nnz((A·B)(:,j))`.
 /// `stats.nnz_out` is the total; `stats.flops` the multiplication count the
-/// numeric kernel would perform.
+/// numeric kernel would perform. Convenience wrapper over
+/// [`symbolic_col_counts_with_workspace`] with a throwaway workspace.
 pub fn symbolic_col_counts<T: Copy, U: Copy>(
     a: &CscMatrix<T>,
     b: &CscMatrix<U>,
+) -> Result<(Vec<u64>, WorkStats)> {
+    symbolic_col_counts_with_workspace(a, b, &mut SpGemmWorkspace::<()>::new())
+}
+
+/// [`symbolic_col_counts`] against caller-owned reusable scratch.
+///
+/// Only the workspace's structure-only accumulator is used, so the
+/// workspace's value type `W` is independent of the operand types — the
+/// same per-rank workspace that serves the numeric kernels serves the
+/// symbolic sweep.
+pub fn symbolic_col_counts_with_workspace<T: Copy, U: Copy, W: Copy>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+    ws: &mut SpGemmWorkspace<W>,
 ) -> Result<(Vec<u64>, WorkStats)> {
     if a.ncols() != b.nrows() {
         return Err(SparseError::DimensionMismatch {
@@ -25,8 +40,9 @@ pub fn symbolic_col_counts<T: Copy, U: Copy>(
         });
     }
     let n_out = b.ncols();
+    let allocs_before = ws.total_allocs();
     let mut counts = vec![0u64; n_out];
-    let mut acc: HashAccum<()> = HashAccum::new(());
+    let acc = &mut ws.sym;
     let mut stats = WorkStats::default();
     #[allow(clippy::needless_range_loop)] // indexes both `b` and `counts`
     for j in 0..n_out {
@@ -52,6 +68,11 @@ pub fn symbolic_col_counts<T: Copy, U: Copy>(
         // and the drain; model at half the per-flop constant.
         stats.work_units += ub as f64 * (C_HASH_FLOP * 0.5) + acc.len() as f64 * (C_DRAIN * 0.25);
     }
+    // One exact-size allocation for the counts themselves, plus any table
+    // growth the sweep caused.
+    stats.allocs = ws.total_allocs() - allocs_before + 1;
+    ws.note_peak();
+    stats.peak_scratch_bytes = ws.peak_scratch_bytes();
     Ok((counts, stats))
 }
 
