@@ -238,6 +238,7 @@ fn mcl_iteration(
             budget: params.budget,
             forced_batches: None,
             merge_schedule: Default::default(),
+            overlap: Default::default(),
         };
         let grid_ref = &grid;
         let result = batched_summa3d::<PlusTimesF64>(rank, &grid, &da, &db, &cfg, |rank, out| {

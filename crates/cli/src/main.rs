@@ -6,8 +6,8 @@
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--layers L] [--batches B | --budget-mb M]
 //!                 [--kernels new|previous] [--machine knl|haswell|knl-mini|knl-ht]
-//!                 [--batching cyclic|block|balanced] [--trace T.json]
-//!                 [--out C.mtx] [--verify]
+//!                 [--batching cyclic|block|balanced] [--overlap]
+//!                 [--trace T.json] [--out C.mtx] [--verify]
 //! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
 //!                 [--select K] [--budget-mb M]
 //! spgemm triangles --input M.mtx --procs P [--layers L]
@@ -21,7 +21,7 @@ use spgemm_apps::mcl::{markov_cluster, MclParams};
 use spgemm_apps::overlap::{find_overlaps, OverlapConfig};
 use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
-use spgemm_core::{run_spgemm, KernelStrategy, MemoryBudget, RunConfig};
+use spgemm_core::{run_spgemm, KernelStrategy, MemoryBudget, OverlapMode, RunConfig};
 use spgemm_simgrid::{Machine, StepReport};
 use spgemm_sparse::gen::{clustered_similarity, er_random, kmer_matrix, rmat};
 use spgemm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
@@ -170,6 +170,9 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     } else if let Some(mb) = args.opt("budget-mb") {
         let mb: f64 = mb.parse().map_err(|_| "bad --budget-mb")?;
         cfg.budget = MemoryBudget::new((mb * 1e6) as usize);
+    }
+    if args.flag("overlap") {
+        cfg.overlap = OverlapMode::Overlapped;
     }
     if args.opt("trace").is_some() {
         cfg.trace = true;

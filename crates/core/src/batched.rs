@@ -13,7 +13,7 @@
 use crate::dist::{CPiece, DistMatrix};
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::{MemTracker, MemoryBudget};
-use crate::summa2d::MergeSchedule;
+use crate::summa2d::{MergeSchedule, NextStage, OverlapMode, StagePending};
 use crate::summa3d::summa3d_batch;
 use crate::symbolic::{symbolic3d_with_weights, SymbolicOutcome};
 use crate::{CoreError, Result};
@@ -56,6 +56,9 @@ pub struct BatchConfig {
     pub forced_batches: Option<usize>,
     /// When Merge-Layer runs (Sec. III-A ablation).
     pub merge_schedule: MergeSchedule,
+    /// Blocking (paper-faithful, default) or overlapped (double-buffered
+    /// pipeline over nonblocking collectives) communication.
+    pub overlap: OverlapMode,
 }
 
 impl Default for BatchConfig {
@@ -66,6 +69,7 @@ impl Default for BatchConfig {
             budget: MemoryBudget::unlimited(),
             forced_batches: None,
             merge_schedule: MergeSchedule::AfterAllStages,
+            overlap: OverlapMode::Blocking,
         }
     }
 }
@@ -169,22 +173,37 @@ pub fn batch_local_cols(
                 // Within layer sub-slice s, cut columns into `nbatches`
                 // contiguous runs of near-equal total weight and take run
                 // `batch`. Deterministic, identical on every rank that
-                // shares the weights.
+                // shares the weights. Each weight is scaled to
+                // `w·len + 1` (u128: no overflow): the `+1` epsilon makes
+                // zero- and constant-weight slices degrade to column-count
+                // balance instead of dumping every column into run 0, and
+                // the `len` scaling keeps real weight ratios dominant.
+                // The target is recomputed from the *remaining* weight
+                // after each run closes (ceil division), so early
+                // overshoot can never starve the last runs.
                 let slice = block_range(ncols_local, l, s);
-                let total: u64 = weights[slice.clone()].iter().sum();
-                let target = total / nbatches as u64 + 1;
+                let scaled: Vec<u128> = slice
+                    .clone()
+                    .map(|j| weights[j] as u128 * slice.len() as u128 + 1)
+                    .collect();
+                let mut remaining: u128 = scaled.iter().sum();
+                let mut runs_left = nbatches as u128;
+                let mut target = remaining.div_ceil(runs_left.max(1));
                 let mut run = 0usize; // current run id
-                let mut acc = 0u64;
-                for j in slice.clone() {
+                let mut acc = 0u128;
+                for (w, j) in scaled.into_iter().zip(slice) {
                     if run == batch {
                         cols.push(j);
                     }
-                    acc += weights[j];
+                    acc += w;
+                    remaining -= w;
                     // Close the run when it reaches its share, keeping at
                     // least one remaining run per remaining batch.
                     if acc >= target && run + 1 < nbatches {
                         run += 1;
                         acc = 0;
+                        runs_left -= 1;
+                        target = remaining.div_ceil(runs_left);
                     }
                 }
                 piece_offsets.push(cols.len());
@@ -258,8 +277,13 @@ pub fn batched_summa3d<S: Semiring>(
     let b_col_start = b.col_range(grid).start;
     let mut pieces = Vec::new();
 
-    // Alg. 4 lines 4–6: split B̃ and multiply batch by batch.
-    for t in 0..nbatches {
+    // One batch's staged inputs: column selection plus the extracted B
+    // piece. Staged one batch ahead so that, under OverlapMode::Overlapped,
+    // batch t's last SUMMA stage can post batch t+1's stage-0 broadcasts
+    // (and the extraction itself overlaps batch t's merge phases instead
+    // of sitting between them — extraction is local bookkeeping and costs
+    // no modeled time, so blocking-mode clocks are unaffected).
+    let stage = |t: usize| {
         let batch_cols = batch_local_cols(
             b.local.ncols(),
             nbatches,
@@ -274,19 +298,44 @@ pub fn batched_summa3d<S: Semiring>(
             .map(|&c| (b_col_start + c) as u32)
             .collect();
         let b_piece = Arc::new(extract_cols(&b.local, &batch_cols.cols));
-        let piece = summa3d_batch::<S>(
+        (global_cols, batch_cols.piece_offsets, b_piece)
+    };
+
+    let overlapped = cfg.overlap == OverlapMode::Overlapped;
+    let a_bytes = a.local.modeled_bytes(r);
+    let mut staged = Some(stage(0));
+    let mut carry: Option<StagePending<S::T>> = None;
+
+    // Alg. 4 lines 4–6: split B̃ and multiply batch by batch.
+    for t in 0..nbatches {
+        let (global_cols, piece_offsets, b_piece) = staged.take().expect("batch staged");
+        staged = (t + 1 < nbatches).then(|| stage(t + 1));
+        let next = match (&staged, overlapped) {
+            (Some((_, _, next_piece)), true) => Some(NextStage {
+                a_shared: Arc::clone(&a_shared),
+                a_bytes,
+                b_piece: Arc::clone(next_piece),
+                b_bytes: next_piece.modeled_bytes(r),
+            }),
+            _ => None,
+        };
+        let (piece, next_carry) = summa3d_batch::<S>(
             rank,
             grid,
             a,
             &a_shared,
             &b_piece,
             &global_cols,
-            &batch_cols.piece_offsets,
+            &piece_offsets,
             &mut kernels,
             cfg.merge_schedule,
             r,
             &mut mem,
+            cfg.overlap,
+            carry.take(),
+            next.as_ref(),
         )?;
+        carry = next_carry;
         let piece_bytes = piece.bytes(r);
         let out = BatchOutput {
             batch: t,
@@ -302,6 +351,7 @@ pub fn batched_summa3d<S: Semiring>(
             None => mem.free(piece_bytes),
         }
     }
+    debug_assert!(carry.is_none(), "the last batch posts no follow-on stage");
 
     Ok(BatchedResult {
         pieces,
@@ -392,6 +442,46 @@ mod tests {
             "plain blocks on a ramp should be badly imbalanced, got {block}"
         );
         assert!(balanced < block);
+    }
+
+    #[test]
+    fn balanced_zero_and_constant_weights_fall_back_to_column_balance() {
+        // Regression: a zero-weight slice once made `target = 0/nb + 1 = 1`
+        // unreachable, dumping every column into run 0 and leaving batches
+        // 1..nb empty from that slice.
+        let (ncols, nb, l) = (10usize, 3usize, 1usize);
+        for weights in [vec![0u64; ncols], vec![7u64; ncols]] {
+            let mut sizes = Vec::new();
+            let mut all = Vec::new();
+            for t in 0..nb {
+                let bc =
+                    batch_local_cols(ncols, nb, l, t, BatchingStrategy::Balanced, Some(&weights));
+                sizes.push(bc.cols.len());
+                all.extend(bc.cols);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..ncols).collect::<Vec<_>>());
+            assert!(sizes.iter().all(|&s| s > 0), "every batch gets columns: {sizes:?}");
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "column counts must balance: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_small_totals_do_not_starve_last_runs() {
+        // Regression: 6 unit-weight columns into 4 batches under the old
+        // `total/nb + 1` overshoot target landed as 2,2,2,0.
+        let weights = vec![1u64; 6];
+        let sizes: Vec<usize> = (0..4)
+            .map(|t| {
+                batch_local_cols(6, 4, 1, t, BatchingStrategy::Balanced, Some(&weights))
+                    .cols
+                    .len()
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes.iter().all(|&s| s > 0), "no starved run: {sizes:?}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! module packages that as [`run_spgemm`].
 
 use crate::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
-use crate::summa2d::MergeSchedule;
+use crate::summa2d::{MergeSchedule, OverlapMode};
 use crate::dist::{gather_pieces, scatter, transpose_to_bstyle, DistKind};
 use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
@@ -43,6 +43,9 @@ pub struct RunConfig {
     /// When Merge-Layer runs (Sec. III-A ablation; the paper merges after
     /// all stages).
     pub merge_schedule: MergeSchedule,
+    /// Blocking (paper-faithful) or overlapped (pipelined nonblocking
+    /// broadcasts) communication.
+    pub overlap: OverlapMode,
 }
 
 impl RunConfig {
@@ -60,6 +63,7 @@ impl RunConfig {
             discard_output: false,
             trace: false,
             merge_schedule: MergeSchedule::AfterAllStages,
+            overlap: OverlapMode::Blocking,
         }
     }
 }
@@ -146,6 +150,7 @@ pub fn run_spgemm<S: Semiring>(
             budget: cfg_copy.budget,
             forced_batches: cfg_copy.forced_batches,
             merge_schedule: cfg_copy.merge_schedule,
+            overlap: cfg_copy.overlap,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
@@ -204,6 +209,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             budget: cfg_copy.budget,
             forced_batches: cfg_copy.forced_batches,
             merge_schedule: cfg_copy.merge_schedule,
+            overlap: cfg_copy.overlap,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {

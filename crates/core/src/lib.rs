@@ -40,7 +40,7 @@ pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
 pub use harness::{run_spgemm, run_spgemm_aat, run_spgemm_row_batched, RunConfig, RunOutput};
 pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};
-pub use summa2d::MergeSchedule;
+pub use summa2d::{MergeSchedule, OverlapMode};
 pub use symbolic::{symbolic3d, SymbolicOutcome};
 
 /// Errors from the distributed layer.

@@ -13,9 +13,69 @@ use crate::dist::DistMatrix;
 use crate::kernels::LocalKernels;
 use crate::memory::MemTracker;
 use crate::Result;
-use spgemm_simgrid::{Grid3D, Rank, Step};
+use spgemm_simgrid::{Grid3D, PendingBcast, PendingOp, Rank, Step};
 use spgemm_sparse::{CscMatrix, Semiring};
 use std::sync::Arc;
+
+/// Whether stage broadcasts run blocking or pipelined (the overlap
+/// tentpole). Blocking is the default: it reproduces the paper's strictly
+/// phased execution, and every existing figure and modeled-time test is
+/// built on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapMode {
+    /// Alg. 1 as published: each stage's A/B broadcasts complete before
+    /// its Local-Multiply starts.
+    #[default]
+    Blocking,
+    /// Double-buffered pipeline: stage `s+1`'s broadcasts are posted
+    /// (nonblocking) before stage `s`'s Local-Multiply, so the multiply
+    /// hides their modeled cost; across batches, the next batch's stage-0
+    /// broadcasts are posted before the current batch's merge phases.
+    Overlapped,
+}
+
+/// A pipeline carry: stage-0 broadcasts already posted for the *next*
+/// batch (absent in blocking mode and after the final batch).
+pub type StageCarry<T> = Option<StagePending<T>>;
+
+/// The posted-but-unwaited A/B broadcasts of one SUMMA stage.
+#[must_use = "posted stage broadcasts must be waited or peers deadlock"]
+pub struct StagePending<T> {
+    a: PendingBcast<CscMatrix<T>>,
+    b: PendingBcast<CscMatrix<T>>,
+}
+
+/// Stage-0 inputs of the *next* batch, staged one batch ahead so the
+/// current batch's last SUMMA stage can post their broadcasts (the
+/// cross-batch leg of the pipeline: Merge-Layer, AllToAll-Fiber and
+/// Merge-Fiber of the current batch then hide them).
+pub struct NextStage<T> {
+    /// The rank's `Ã` (rebroadcast every batch).
+    pub a_shared: Arc<CscMatrix<T>>,
+    /// Modeled size of `a_shared`.
+    pub a_bytes: usize,
+    /// The next batch's extracted B piece.
+    pub b_piece: Arc<CscMatrix<T>>,
+    /// Modeled size of `b_piece`.
+    pub b_bytes: usize,
+}
+
+/// Post (without waiting) stage `s`'s A/B broadcasts.
+pub(crate) fn post_stage<T: Send + Sync + 'static>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    s: usize,
+    a_shared: &Arc<CscMatrix<T>>,
+    a_bytes: usize,
+    b_batch: &Arc<CscMatrix<T>>,
+    b_bytes: usize,
+) -> StagePending<T> {
+    let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
+    let a = rank.ibcast(&grid.row, s, a_payload, a_bytes, Step::ABcast);
+    let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
+    let b = rank.ibcast(&grid.col, s, b_payload, b_bytes, Step::BBcast);
+    StagePending { a, b }
+}
 
 /// When Merge-Layer runs relative to the SUMMA stages (Sec. III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,9 +115,7 @@ pub fn summa2d_layer<S: Semiring>(
     mem: &mut MemTracker,
 ) -> Result<CscMatrix<S::T>> {
     let stages = grid.pr;
-    let mut partials: Vec<CscMatrix<S::T>> = Vec::with_capacity(stages);
-    let mut partial_bytes = 0usize;
-    let mut running: Option<CscMatrix<S::T>> = None;
+    let mut acc = StageAccumulator::new(schedule, stages);
 
     for s in 0..stages {
         // A-Broadcast along the process row: root is column s of the row.
@@ -83,52 +141,158 @@ pub fn summa2d_layer<S: Semiring>(
         // Local-Multiply.
         let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
         rank.compute(Step::LocalMultiply, stats.work_units);
+        acc.push::<S>(rank, kernels, partial, r, mem)?;
+    }
 
-        match schedule {
+    acc.finish::<S>(rank, kernels, a.local.nrows(), b_batch.ncols(), r, mem)
+}
+
+/// Pipelined twin of [`summa2d_layer`] ([`OverlapMode::Overlapped`]).
+///
+/// Stage `s+1`'s broadcasts are posted before stage `s`'s Local-Multiply,
+/// so the multiply hides their modeled cost. Stage 0 is either waited from
+/// `carry` (posted by the previous batch's last stage) or posted on entry;
+/// when `next` is given, the last stage posts the *next* batch's stage-0
+/// broadcasts and returns the handle for the caller to carry forward.
+// SPMD plumbing (grid + matrices + policies); the paired-with-carry return
+// is what the pipeline protocol is.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn summa2d_layer_pipelined<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    a_shared: &Arc<CscMatrix<S::T>>,
+    b_batch: &Arc<CscMatrix<S::T>>,
+    kernels: &mut LocalKernels<S::T>,
+    schedule: MergeSchedule,
+    r: usize,
+    mem: &mut MemTracker,
+    carry: StageCarry<S::T>,
+    next: Option<&NextStage<S::T>>,
+) -> Result<(CscMatrix<S::T>, StageCarry<S::T>)> {
+    let stages = grid.pr;
+    let a_bytes = a.local.modeled_bytes(r);
+    let b_bytes = b_batch.modeled_bytes(r);
+    let mut acc = StageAccumulator::new(schedule, stages);
+
+    let mut pending = Some(
+        carry.unwrap_or_else(|| post_stage(rank, grid, 0, a_shared, a_bytes, b_batch, b_bytes)),
+    );
+    let mut next_carry = None;
+
+    for s in 0..stages {
+        let StagePending { a: pa, b: pb } = pending.take().expect("stage broadcasts posted");
+        let a_recv = pa.wait(rank);
+        let b_recv = pb.wait(rank);
+
+        // Double buffering: post the following stage (or the next batch's
+        // stage 0) *before* multiplying, so the multiply hides it.
+        if s + 1 < stages {
+            pending = Some(post_stage(rank, grid, s + 1, a_shared, a_bytes, b_batch, b_bytes));
+        } else if let Some(n) = next {
+            next_carry =
+                Some(post_stage(rank, grid, 0, &n.a_shared, n.a_bytes, &n.b_piece, n.b_bytes));
+        }
+
+        debug_assert_eq!(
+            a_recv.ncols(),
+            b_recv.nrows(),
+            "stage {s}: A column slice and B row slice must conform \
+             (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
+
+        let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
+        rank.compute(Step::LocalMultiply, stats.work_units);
+        acc.push::<S>(rank, kernels, partial, r, mem)?;
+    }
+
+    let merged = acc.finish::<S>(rank, kernels, a.local.nrows(), b_batch.ncols(), r, mem)?;
+    Ok((merged, next_carry))
+}
+
+/// Per-stage partial-product accumulation shared by the blocking and
+/// pipelined layers (the [`MergeSchedule`] bookkeeping of Sec. III-A).
+struct StageAccumulator<T: Copy> {
+    schedule: MergeSchedule,
+    partials: Vec<CscMatrix<T>>,
+    partial_bytes: usize,
+    running: Option<CscMatrix<T>>,
+}
+
+impl<T: Copy> StageAccumulator<T> {
+    fn new(schedule: MergeSchedule, stages: usize) -> Self {
+        StageAccumulator {
+            schedule,
+            partials: Vec::with_capacity(stages),
+            partial_bytes: 0,
+            running: None,
+        }
+    }
+
+    fn push<S: Semiring<T = T>>(
+        &mut self,
+        rank: &mut Rank,
+        kernels: &mut LocalKernels<T>,
+        partial: CscMatrix<T>,
+        r: usize,
+        mem: &mut MemTracker,
+    ) -> Result<()> {
+        match self.schedule {
             MergeSchedule::AfterAllStages => {
                 // Store the stage's partial for one merge at the end
                 // (merging incrementally is costlier in the worst case;
                 // the paper merges once after all stages — Sec. III-A).
-                partial_bytes += partial.modeled_bytes(r);
+                self.partial_bytes += partial.modeled_bytes(r);
                 mem.alloc(partial.modeled_bytes(r));
-                partials.push(partial);
+                self.partials.push(partial);
             }
             MergeSchedule::Incremental => {
                 mem.alloc(partial.modeled_bytes(r));
-                match running.take() {
-                    None => running = Some(partial),
+                match self.running.take() {
+                    None => self.running = Some(partial),
                     Some(acc) => {
                         let in_bytes = acc.modeled_bytes(r) + partial.modeled_bytes(r);
-                        let (merged, mstats) =
-                            kernels.merge_layer::<S>(&[acc, partial])?;
+                        let (merged, mstats) = kernels.merge_layer::<S>(&[acc, partial])?;
                         rank.compute(Step::MergeLayer, mstats.work_units);
                         mem.free(in_bytes);
                         mem.alloc(merged.modeled_bytes(r));
-                        running = Some(merged);
+                        self.running = Some(merged);
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    match schedule {
-        MergeSchedule::AfterAllStages => {
-            // Merge-Layer: combine the per-stage partials. Footprint model
-            // follows Alg. 3's accounting: the budgeted high-water mark is
-            // the *unmerged* residency (inputs + stage partials); merging
-            // is modeled as streaming (inputs released column-by-column as
-            // they are consumed), so the merged output replaces rather
-            // than stacks on the partials.
-            let (merged, stats) = kernels.merge_layer::<S>(&partials)?;
-            rank.compute(Step::MergeLayer, stats.work_units);
-            mem.free(partial_bytes);
-            mem.alloc(merged.modeled_bytes(r));
-            Ok(merged)
-        }
-        MergeSchedule::Incremental => {
-            Ok(running.unwrap_or_else(|| {
-                CscMatrix::zero(a.local.nrows(), b_batch.ncols())
-            }))
+    fn finish<S: Semiring<T = T>>(
+        self,
+        rank: &mut Rank,
+        kernels: &mut LocalKernels<T>,
+        nrows: usize,
+        ncols: usize,
+        r: usize,
+        mem: &mut MemTracker,
+    ) -> Result<CscMatrix<T>> {
+        match self.schedule {
+            MergeSchedule::AfterAllStages => {
+                // Merge-Layer: combine the per-stage partials. Footprint model
+                // follows Alg. 3's accounting: the budgeted high-water mark is
+                // the *unmerged* residency (inputs + stage partials); merging
+                // is modeled as streaming (inputs released column-by-column as
+                // they are consumed), so the merged output replaces rather
+                // than stacks on the partials.
+                let (merged, stats) = kernels.merge_layer::<S>(&self.partials)?;
+                rank.compute(Step::MergeLayer, stats.work_units);
+                mem.free(self.partial_bytes);
+                mem.alloc(merged.modeled_bytes(r));
+                Ok(merged)
+            }
+            MergeSchedule::Incremental => Ok(self
+                .running
+                .unwrap_or_else(|| CscMatrix::zero(nrows, ncols))),
         }
     }
 }

@@ -10,9 +10,11 @@
 use crate::dist::{CPiece, DistMatrix};
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::MemTracker;
-use crate::summa2d::{summa2d_layer, MergeSchedule};
+use crate::summa2d::{
+    summa2d_layer, summa2d_layer_pipelined, MergeSchedule, NextStage, OverlapMode, StageCarry,
+};
 use crate::Result;
-use spgemm_simgrid::{Grid3D, Rank, Step};
+use spgemm_simgrid::{Grid3D, PendingOp, Rank, Step};
 use spgemm_sparse::ops::{block_range, col_block};
 use spgemm_sparse::{CscMatrix, Semiring};
 use std::sync::Arc;
@@ -21,7 +23,17 @@ use std::sync::Arc;
 /// piece of `B` restricted to the batch's columns and `batch_global_cols`
 /// the matching global column ids. Returns this rank's final `C` piece
 /// for the batch (sorted columns).
-#[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + matrices + policies
+///
+/// Under [`OverlapMode::Overlapped`] the SUMMA stages run pipelined:
+/// `carry` is the stage-0 broadcast pair the *previous* batch posted (or
+/// `None` for the first batch), and `next` — when another batch follows —
+/// names the next batch's stage-0 inputs so this batch's last stage can
+/// post them; the returned [`StagePending`] must then be passed back in as
+/// the next batch's `carry`. Blocking callers pass `None`/`None` and get
+/// `None` back.
+// SPMD plumbing (grid + matrices + policies); the paired-with-carry return
+// is what the pipeline protocol is.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 pub fn summa3d_batch<S: Semiring>(
     rank: &mut Rank,
     grid: &Grid3D,
@@ -34,13 +46,25 @@ pub fn summa3d_batch<S: Semiring>(
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
-) -> Result<CPiece<S::T>> {
+    overlap: OverlapMode,
+    carry: StageCarry<S::T>,
+    next: Option<&NextStage<S::T>>,
+) -> Result<(CPiece<S::T>, StageCarry<S::T>)> {
     debug_assert_eq!(b_batch.ncols(), batch_global_cols.len());
     debug_assert_eq!(piece_offsets.len(), grid.l + 1);
     debug_assert_eq!(*piece_offsets.last().unwrap(), b_batch.ncols());
 
     // Per-layer 2D SUMMA producing D̃⁽ᵏ⁾ (Alg. 2 line 3).
-    let d = summa2d_layer::<S>(rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem)?;
+    let (d, next_carry) = match overlap {
+        OverlapMode::Blocking => {
+            debug_assert!(carry.is_none() && next.is_none(), "blocking mode never pipelines");
+            let d = summa2d_layer::<S>(rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem)?;
+            (d, None)
+        }
+        OverlapMode::Overlapped => summa2d_layer_pipelined::<S>(
+            rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem, carry, next,
+        )?,
+    };
 
 
     // ColSplit D̃⁽ᵏ⁾ into l column pieces (Alg. 2 line 4). Piece k' also
@@ -59,9 +83,20 @@ pub fn summa3d_batch<S: Semiring>(
     // consistent with Alg. 3's unmerged-high-water-mark accounting).
     drop(d);
 
-    // AllToAll-Fiber (Alg. 2 line 5).
+    // AllToAll-Fiber (Alg. 2 line 5). In overlapped mode the exchange is
+    // posted nonblocking — its completion then shares the timeline with
+    // the already-posted next-batch stage-0 broadcasts, which the merge
+    // phases below keep hiding (an immediate wait is cost-neutral with the
+    // blocking call, see `spgemm_simgrid::nonblocking`).
     let sent_bytes: usize = part_bytes.iter().sum();
-    let received = rank.alltoallv(&grid.fiber, parts, &part_bytes, Step::AllToAllFiber);
+    let received = match overlap {
+        OverlapMode::Blocking => {
+            rank.alltoallv(&grid.fiber, parts, &part_bytes, Step::AllToAllFiber)
+        }
+        OverlapMode::Overlapped => rank
+            .ialltoallv(&grid.fiber, parts, &part_bytes, Step::AllToAllFiber)
+            .wait(rank),
+    };
     let recv_bytes: usize = received.iter().map(|(p, _)| p.modeled_bytes(r)).sum();
     mem.free(sent_bytes);
     mem.alloc(recv_bytes);
@@ -79,11 +114,14 @@ pub fn summa3d_batch<S: Semiring>(
     mem.alloc(merged.modeled_bytes(r));
     debug_assert!(merged.is_sorted(), "Merge-Fiber output must be sorted");
 
-    Ok(CPiece {
-        local: merged,
-        row_offset: a.row_range(grid).start,
-        global_cols: my_cols,
-    })
+    Ok((
+        CPiece {
+            local: merged,
+            row_offset: a.row_range(grid).start,
+            global_cols: my_cols,
+        },
+        next_carry,
+    ))
 }
 
 /// Convenience: full (single-batch) SUMMA3D over a distributed `B`
@@ -109,7 +147,7 @@ pub fn summa3d<S: Semiring>(
     for s in 0..grid.l {
         offsets.push(block_range(gcols.len(), grid.l, s).end);
     }
-    summa3d_batch::<S>(
+    let (piece, carry) = summa3d_batch::<S>(
         rank,
         grid,
         a,
@@ -121,7 +159,12 @@ pub fn summa3d<S: Semiring>(
         MergeSchedule::AfterAllStages,
         r,
         mem,
-    )
+        OverlapMode::Blocking,
+        None,
+        None,
+    )?;
+    debug_assert!(carry.is_none());
+    Ok(piece)
 }
 
 #[cfg(test)]

@@ -91,12 +91,24 @@ pub struct StepBreakdown {
     pub bytes: [u64; N_STEPS],
     /// Collective/message rounds per step.
     pub msgs: [u64; N_STEPS],
+    /// Modeled seconds of communication *hidden* behind computation per
+    /// step: the portion of a nonblocking collective's span (post → modeled
+    /// completion) that the rank spent doing other work instead of
+    /// waiting. Charged seconds plus hidden seconds for an op equal the
+    /// blocking variant's full wait-plus-cost span, so this is the overlap
+    /// saving.
+    pub overlap_secs: [f64; N_STEPS],
 }
 
 impl StepBreakdown {
     /// Seconds attributed to `step`.
     pub fn secs_of(&self, step: Step) -> f64 {
         self.secs[step as usize]
+    }
+
+    /// Bytes recorded under `step` (received side for collectives).
+    pub fn bytes_of(&self, step: Step) -> u64 {
+        self.bytes[step as usize]
     }
 
     /// Total modeled seconds over algorithm steps (excludes `Other`).
@@ -131,12 +143,23 @@ impl StepBreakdown {
         .sum()
     }
 
+    /// Seconds of communication hidden behind computation for `step`.
+    pub fn overlap_of(&self, step: Step) -> f64 {
+        self.overlap_secs[step as usize]
+    }
+
+    /// Total modeled seconds of communication hidden by overlap.
+    pub fn overlap_total(&self) -> f64 {
+        self.overlap_secs.iter().sum()
+    }
+
     /// Elementwise max — used when reducing across ranks.
     pub fn max_with(&mut self, other: &StepBreakdown) {
         for i in 0..N_STEPS {
             self.secs[i] = self.secs[i].max(other.secs[i]);
             self.bytes[i] = self.bytes[i].max(other.bytes[i]);
             self.msgs[i] = self.msgs[i].max(other.msgs[i]);
+            self.overlap_secs[i] = self.overlap_secs[i].max(other.overlap_secs[i]);
         }
     }
 }
@@ -179,7 +202,12 @@ impl RankClock {
     fn record_event(&mut self, step: Step, start: f64, end: f64) {
         if let Some(events) = &mut self.events {
             if end > start {
-                events.push(crate::trace::TraceEvent { step, start, end });
+                events.push(crate::trace::TraceEvent {
+                    step,
+                    start,
+                    end,
+                    hidden: 0.0,
+                });
             }
         }
     }
@@ -210,6 +238,27 @@ impl RankClock {
     pub fn record_comm(&mut self, step: Step, bytes: u64, msgs: u64) {
         self.breakdown.bytes[step as usize] += bytes;
         self.breakdown.msgs[step as usize] += msgs;
+    }
+
+    /// Record `secs` of communication under `step` that completed in the
+    /// background while this rank computed (nonblocking overlap). Does not
+    /// advance the clock — the covered span already elapsed under whatever
+    /// steps the rank worked on. When tracing, a zero-length marker event
+    /// carrying the hidden duration is emitted at the current time.
+    pub fn record_overlap(&mut self, step: Step, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative overlap: {secs}");
+        if secs <= 0.0 {
+            return;
+        }
+        self.breakdown.overlap_secs[step as usize] += secs;
+        if let Some(events) = &mut self.events {
+            events.push(crate::trace::TraceEvent {
+                step,
+                start: self.now,
+                end: self.now,
+                hidden: secs,
+            });
+        }
     }
 
     /// Reset time and accounting (between repetitions in a harness).
@@ -265,6 +314,30 @@ mod tests {
         assert!(!Step::LocalMultiply.is_communication());
         assert!(!Step::MergeLayer.is_communication());
         assert!(!Step::MergeFiber.is_communication());
+    }
+
+    #[test]
+    fn record_overlap_accumulates_without_advancing() {
+        let mut c = RankClock::new();
+        c.enable_tracing();
+        c.advance(Step::LocalMultiply, 2.0);
+        c.record_overlap(Step::ABcast, 1.5);
+        c.record_overlap(Step::ABcast, 0.5);
+        c.record_overlap(Step::BBcast, 0.0); // no-op
+        assert_eq!(c.now(), 2.0, "overlap never advances the clock");
+        assert_eq!(c.breakdown().overlap_of(Step::ABcast), 2.0);
+        assert_eq!(c.breakdown().overlap_total(), 2.0);
+        // Hidden time does not count toward charged step seconds.
+        assert_eq!(c.breakdown().secs_of(Step::ABcast), 0.0);
+        // Tracing records zero-length markers carrying the hidden span.
+        let markers: Vec<_> = c
+            .events()
+            .unwrap()
+            .iter()
+            .filter(|e| e.hidden > 0.0)
+            .collect();
+        assert_eq!(markers.len(), 2);
+        assert!(markers.iter().all(|e| e.start == e.end && e.start == 2.0));
     }
 
     #[test]

@@ -33,10 +33,11 @@ fn tag(seq: u64, phase: u64) -> u64 {
 impl Rank {
     /// Clock synchronization: everyone jumps to the max entry time.
     /// Implemented with real messages but zero modeled cost (the cost of
-    /// the enclosing collective covers it). The waiting span is attributed
-    /// to [`Step::Wait`] — see that variant's docs. Returns the
-    /// synchronized time.
-    fn sync_clocks(&mut self, comm: &Comm, seq: u64, _step: Step) -> f64 {
+    /// the enclosing collective covers it). The waiting span is always
+    /// attributed to [`Step::Wait`] — see that variant's docs — so that
+    /// load-imbalance skew never pollutes the α–β cost of the enclosing
+    /// collective's step. Returns the synchronized time.
+    fn sync_clocks(&mut self, comm: &Comm, seq: u64) -> f64 {
         let q = comm.size();
         if q == 1 {
             return self.clock().now();
@@ -76,7 +77,7 @@ impl Rank {
     ) -> Arc<T> {
         let q = comm.size();
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
+        let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let (out, bytes) = if me == root {
             let v = value.expect("bcast root must supply the payload");
@@ -108,7 +109,7 @@ impl Rank {
     ) -> T {
         let q = comm.size();
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
+        let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let result = if me == 0 {
             let mut acc = value;
@@ -141,7 +142,7 @@ impl Rank {
     ) -> Vec<T> {
         let q = comm.size();
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
+        let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         for i in 0..q {
             if i != me {
@@ -166,7 +167,10 @@ impl Rank {
     /// `i` (our own slot comes back unchanged). `bytes[i]` models
     /// `parts[i]`'s size. The modeled cost uses the *heaviest* sender's
     /// total volume — this is what makes Merge-Fiber load imbalance visible
-    /// and motivates the paper's block-cyclic batch splitting.
+    /// and motivates the paper's block-cyclic batch splitting. Recorded
+    /// bytes are the **receive side** (each size travels with its part), as
+    /// [`crate::clock::StepBreakdown::bytes`] documents — under asymmetric
+    /// traffic the sent and received totals differ per rank.
     pub fn alltoallv<T: Send + 'static>(
         &mut self,
         comm: &Comm,
@@ -178,33 +182,36 @@ impl Rank {
         assert_eq!(parts.len(), q, "alltoallv needs one part per member");
         assert_eq!(bytes.len(), q, "alltoallv needs one size per member");
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
+        let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
-        let my_bytes: usize = bytes.iter().sum::<usize>() - bytes[me];
+        let my_sent: usize = bytes.iter().sum::<usize>() - bytes[me];
         let mut own: Option<T> = None;
         for (i, part) in parts.into_iter().enumerate() {
             if i == me {
                 own = Some(part);
             } else {
-                self.send(comm, i, tag(seq, PH_DATA), part);
+                self.send(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
             }
         }
         let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
         out[me] = own;
+        let mut recv_bytes = 0u64;
         for i in 0..q {
             if i != me {
-                out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+                let (part, b) = self.recv::<(T, u64)>(comm, i, tag(seq, PH_DATA));
+                recv_bytes += b;
+                out[i] = Some(part);
             }
         }
         // Heaviest sender determines the modeled completion time.
         let max_bytes = if q > 1 {
-            self.allreduce_plain_max(comm, my_bytes as u64, seq)
+            self.allreduce_plain_max(comm, my_sent as u64, seq)
         } else {
             0
         };
         let cost = self.machine().alltoall_secs(q, max_bytes as usize);
         self.clock_mut().advance_to(step, t0 + cost);
-        self.clock_mut().record_comm(step, my_bytes as u64, 1);
+        self.clock_mut().record_comm(step, recv_bytes, 1);
         out.into_iter().map(Option::unwrap).collect()
     }
 
@@ -231,18 +238,20 @@ impl Rank {
     pub fn barrier(&mut self, comm: &Comm, step: Step) {
         let q = comm.size();
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
-        let cost = if q > 1 {
-            self.machine().alpha * (q as f64).log2().ceil()
-        } else {
-            0.0
-        };
+        let t0 = self.sync_clocks(comm, seq);
+        let cost = self.machine().barrier_secs(q);
         self.clock_mut().advance_to(step, t0 + cost);
     }
 
     /// Gather every member's value to `root` (returns `Some(values)` on the
     /// root, `None` elsewhere). Used by harnesses to collect results;
     /// charged to [`Step::Other`] semantics via the `step` argument.
+    ///
+    /// Cost is asymmetric, as in `MPI_Gather`: the root pays the full tree
+    /// ingest ([`crate::cost::Machine::gather_secs`]); a non-root returns
+    /// after its own send ([`crate::cost::Machine::send_secs`]). There is no
+    /// broadcast back, so charging `allgather_secs` on every rank — as this
+    /// function once did — overcounts both sides.
     pub fn gather_to_root<T: Send + 'static>(
         &mut self,
         comm: &Comm,
@@ -253,7 +262,7 @@ impl Rank {
     ) -> Option<Vec<T>> {
         let q = comm.size();
         let seq = self.next_seq(comm);
-        let t0 = self.sync_clocks(comm, seq, step);
+        let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let result = if me == root {
             let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
@@ -268,7 +277,13 @@ impl Rank {
             self.send(comm, root, tag(seq, PH_DATA), value);
             None
         };
-        let cost = self.machine().allgather_secs(q, bytes);
+        let cost = if me == root {
+            self.machine().gather_secs(q, bytes)
+        } else if q > 1 {
+            self.machine().send_secs(bytes)
+        } else {
+            0.0
+        };
         self.clock_mut().advance_to(step, t0 + cost);
         result
     }
@@ -407,6 +422,50 @@ mod tests {
         });
         let m = Machine::knl();
         let expect = m.alltoall_secs(2, 1_000_000);
+        assert!(results.iter().all(|&t| (t - expect).abs() < 1e-12));
+    }
+
+    #[test]
+    fn alltoallv_records_receive_side_bytes() {
+        // Same asymmetric setup as above: rank 0 sends 1 MB and receives 1
+        // byte; rank 1 the reverse. `StepBreakdown::bytes` documents the
+        // receive side, so the recorded volumes must differ per rank.
+        let results = run_ranks(2, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let bytes = if rank.rank() == 0 { [0, 1_000_000] } else { [1, 0] };
+            rank.alltoallv(&comm, vec![0u8, 1u8], &bytes, Step::AllToAllFiber);
+            rank.clock().breakdown().bytes_of(Step::AllToAllFiber)
+        });
+        assert_eq!(results, vec![1, 1_000_000]);
+    }
+
+    #[test]
+    fn gather_charges_root_tree_and_leaf_send() {
+        let (q, bytes) = (4, 1 << 16);
+        let results = run_ranks(q, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.gather_to_root(&comm, 1, rank.rank(), bytes, Step::SymbolicComm);
+            rank.clock().breakdown().secs_of(Step::SymbolicComm)
+        });
+        let m = Machine::knl();
+        for (r, &t) in results.iter().enumerate() {
+            let expect = if r == 1 {
+                m.gather_secs(q, bytes)
+            } else {
+                m.send_secs(bytes)
+            };
+            assert!((t - expect).abs() < 1e-12, "rank {r}: got {t}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn barrier_charges_machine_barrier_secs() {
+        let results = run_ranks(8, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.barrier(&comm, Step::SymbolicComm);
+            rank.clock().breakdown().secs_of(Step::SymbolicComm)
+        });
+        let expect = Machine::knl().barrier_secs(8);
         assert!(results.iter().all(|&t| (t - expect).abs() < 1e-12));
     }
 }

@@ -126,6 +126,34 @@ impl Machine {
         self.alpha * (q as f64).log2().ceil() + self.beta * (bytes_each * (q - 1)) as f64
     }
 
+    /// Seconds for a point-to-point message of `bytes` (the α–β cost of a
+    /// single send; also what a gather's non-root participants pay).
+    pub fn send_secs(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Seconds until a size-`q` gather of `bytes_each` per rank completes
+    /// **at the root**: the binomial tree funnels `(q−1)·bytes_each` into
+    /// the root over `⌈log₂ q⌉` latency rounds. Unlike an allgather there
+    /// is no broadcast back and non-roots do not receive `(q−1)·bytes_each`
+    /// — they finish after their own send ([`Machine::send_secs`]), exactly
+    /// as an `MPI_Gather` returns early on non-root ranks.
+    pub fn gather_secs(&self, q: usize, bytes_each: usize) -> f64 {
+        if q <= 1 {
+            return 0.0;
+        }
+        self.alpha * (q as f64).log2().ceil() + self.beta * (bytes_each * (q - 1)) as f64
+    }
+
+    /// Seconds for a size-`q` barrier: one tree round of latency, no
+    /// payload.
+    pub fn barrier_secs(&self, q: usize) -> f64 {
+        if q <= 1 {
+            return 0.0;
+        }
+        self.alpha * (q as f64).log2().ceil()
+    }
+
     /// Seconds for a size-`q` all-to-all where the heaviest rank sends
     /// `max_bytes` in total (the paper's `αl + β·flops/(bp)` form for
     /// AllToAll-Fiber).
@@ -153,6 +181,33 @@ mod tests {
         assert_eq!(m.bcast_secs(1, 1 << 20), 0.0);
         assert_eq!(m.alltoall_secs(1, 1 << 20), 0.0);
         assert_eq!(m.allreduce_secs(1, 8), 0.0);
+        assert_eq!(m.gather_secs(1, 1 << 20), 0.0);
+        assert_eq!(m.barrier_secs(1), 0.0);
+    }
+
+    #[test]
+    fn gather_root_pays_tree_non_root_pays_one_send() {
+        let m = Machine::knl();
+        let (q, bytes) = (16, 1 << 20);
+        let root = m.gather_secs(q, bytes);
+        let leaf = m.send_secs(bytes);
+        assert!(
+            root > leaf,
+            "root ingests (q-1)x the bytes a leaf sends: {root} vs {leaf}"
+        );
+        assert_eq!(leaf, m.alpha + m.beta * bytes as f64);
+        // The root-side cost matches the tree formula exactly.
+        assert_eq!(
+            root,
+            m.alpha * (q as f64).log2().ceil() + m.beta * (bytes * (q - 1)) as f64
+        );
+    }
+
+    #[test]
+    fn barrier_is_pure_latency() {
+        let m = Machine::knl();
+        assert_eq!(m.barrier_secs(8), m.alpha * 3.0);
+        assert_eq!(m.barrier_secs(9), m.alpha * 4.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod grid;
+pub mod nonblocking;
 pub mod runtime;
 pub mod stats;
 pub mod trace;
@@ -35,6 +36,7 @@ pub use clock::{RankClock, Step, StepBreakdown};
 pub use comm::{Comm, Rank};
 pub use cost::Machine;
 pub use grid::{Grid2D, Grid3D};
+pub use nonblocking::{PendingAlltoallv, PendingBcast, PendingOp};
 pub use runtime::run_ranks;
 pub use stats::{max_breakdown, KernelCounters, StepReport};
 pub use trace::{chrome_trace_json, TraceEvent};

@@ -1,0 +1,409 @@
+//! Nonblocking collectives: post now, complete later, overlap in between.
+//!
+//! `ibcast`/`ialltoallv` return typed [`PendingOp`] handles instead of
+//! blocking. The payload moves eagerly over the real channels at post time
+//! (channel sends never block), but **no modeled time is charged** until
+//! [`PendingOp::wait`]. Completion semantics mirror MPI's progress rule
+//! for collectives:
+//!
+//! * the operation cannot start before its **slowest poster**: completion
+//!   time is `max(post times) + α–β cost` (the same cost its blocking
+//!   twin charges);
+//! * at `wait()`, only the **uncovered remainder** of that span is
+//!   charged — residual entry skew to [`Step::Wait`] (as blocking
+//!   collectives do via their clock sync), the rest to the op's step;
+//! * whatever portion of the span this rank spent computing between post
+//!   and wait is recorded as hidden time
+//!   ([`crate::RankClock::record_overlap`]), so `secs + overlap_secs`
+//!   equals the blocking variant's wait-plus-cost span and the overlap
+//!   saving is directly readable from the breakdown.
+//!
+//! A rank that posts and immediately waits therefore charges exactly what
+//! the blocking collective would — nonblocking with no intervening work is
+//! cost-neutral, which keeps blocking-mode figures comparable.
+//!
+//! Handles are `#[must_use]`: dropping one without waiting would leave
+//! payloads undelivered on peers and sequence counters skewed. SPMD
+//! programs must post and wait in the same order on every member of a
+//! communicator, exactly like the blocking collectives.
+
+use crate::clock::Step;
+use crate::comm::{Comm, Rank};
+use std::sync::Arc;
+
+/// Phases under one sequence number (each op draws a fresh seq from the
+/// same counter the blocking collectives use, so phase values may repeat
+/// theirs without collision).
+const PH_REDUCE_UP: u64 = 0;
+const PH_REDUCE_DOWN: u64 = 1;
+const PH_DATA: u64 = 2;
+
+fn tag(seq: u64, phase: u64) -> u64 {
+    seq * 8 + phase
+}
+
+/// A posted-but-not-completed collective. Consume with [`PendingOp::wait`].
+pub trait PendingOp {
+    /// What the collective yields once complete.
+    type Output;
+
+    /// Block until the data is here, then charge the uncovered remainder of
+    /// the modeled span and return the result.
+    fn wait(self, rank: &mut Rank) -> Self::Output;
+}
+
+/// Shared completion accounting for all nonblocking ops.
+///
+/// The modeled span of the collective is `[posted_at, max_post + cost]`.
+/// Work this rank did between post and wait covers a prefix of that span;
+/// the remainder is charged (entry skew to [`Step::Wait`], the α–β cost
+/// tail to `step`), and the covered portion is recorded as overlap.
+fn complete(rank: &mut Rank, step: Step, posted_at: f64, max_post: f64, cost: f64, bytes: u64) {
+    let complete_at = max_post + cost;
+    let now = rank.clock().now();
+    let hidden = (now.min(complete_at) - posted_at).max(0.0);
+    rank.clock_mut().advance_to(Step::Wait, max_post);
+    rank.clock_mut().advance_to(step, complete_at);
+    rank.clock_mut().record_overlap(step, hidden);
+    rank.clock_mut().record_comm(step, bytes, 1);
+}
+
+/// Handle of a posted [`Rank::ibcast`].
+#[must_use = "a pending broadcast must be wait()ed: dropping it loses the payload and skews modeled time"]
+pub struct PendingBcast<T> {
+    comm: Comm,
+    seq: u64,
+    root: usize,
+    step: Step,
+    posted_at: f64,
+    /// Present on the root (it already owns the payload).
+    value: Option<Arc<T>>,
+    /// Modeled size; authoritative on the root, travels with the data.
+    bytes: usize,
+}
+
+/// Handle of a posted [`Rank::ialltoallv`].
+#[must_use = "a pending all-to-all must be wait()ed: dropping it loses the payloads and skews modeled time"]
+pub struct PendingAlltoallv<T> {
+    comm: Comm,
+    seq: u64,
+    step: Step,
+    posted_at: f64,
+    /// Our own slot, which never travels.
+    own: Option<T>,
+    /// Total bytes this rank sent (for the heaviest-sender cost reduce).
+    sent_bytes: u64,
+}
+
+impl Rank {
+    /// Post a broadcast of `value` (present on `root` only) without
+    /// charging modeled time. See [`Rank::bcast`] for the blocking twin's
+    /// argument conventions; completion and charging happen at
+    /// [`PendingOp::wait`] on the returned handle.
+    pub fn ibcast<T: Send + Sync + 'static>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        value: Option<Arc<T>>,
+        bytes: usize,
+        step: Step,
+    ) -> PendingBcast<T> {
+        let q = comm.size();
+        let seq = self.next_seq(comm);
+        let me = comm.my_index();
+        let value = if me == root {
+            let v = value.expect("ibcast root must supply the payload");
+            for i in 0..q {
+                if i != root {
+                    self.send(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
+                }
+            }
+            Some(v)
+        } else {
+            assert!(value.is_none(), "non-root rank supplied an ibcast payload");
+            None
+        };
+        PendingBcast {
+            comm: comm.clone(),
+            seq,
+            root,
+            step,
+            posted_at: self.clock().now(),
+            value,
+            bytes,
+        }
+    }
+
+    /// Post an all-to-all with per-destination payloads without charging
+    /// modeled time. Same conventions as the blocking [`Rank::alltoallv`]
+    /// (heaviest-sender cost, receive-side byte recording); completion and
+    /// charging happen at [`PendingOp::wait`] on the returned handle.
+    pub fn ialltoallv<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        parts: Vec<T>,
+        bytes: &[usize],
+        step: Step,
+    ) -> PendingAlltoallv<T> {
+        let q = comm.size();
+        assert_eq!(parts.len(), q, "ialltoallv needs one part per member");
+        assert_eq!(bytes.len(), q, "ialltoallv needs one size per member");
+        let seq = self.next_seq(comm);
+        let me = comm.my_index();
+        let sent_bytes = (bytes.iter().sum::<usize>() - bytes[me]) as u64;
+        let mut own: Option<T> = None;
+        for (i, part) in parts.into_iter().enumerate() {
+            if i == me {
+                own = Some(part);
+            } else {
+                self.send(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
+            }
+        }
+        PendingAlltoallv {
+            comm: comm.clone(),
+            seq,
+            step,
+            posted_at: self.clock().now(),
+            own,
+            sent_bytes,
+        }
+    }
+
+    /// Cost-free max-reduce of `(post_time, sent_bytes)` through member 0.
+    /// Real messages, zero modeled time — it computes the completion time
+    /// rather than being part of the modeled operation.
+    fn reduce_post_max(&mut self, comm: &Comm, seq: u64, value: (f64, u64)) -> (f64, u64) {
+        let q = comm.size();
+        if q == 1 {
+            return value;
+        }
+        let me = comm.my_index();
+        if me == 0 {
+            let mut acc = value;
+            for i in 1..q {
+                let (t, b) = self.recv::<(f64, u64)>(comm, i, tag(seq, PH_REDUCE_UP));
+                acc = (acc.0.max(t), acc.1.max(b));
+            }
+            for i in 1..q {
+                self.send(comm, i, tag(seq, PH_REDUCE_DOWN), acc);
+            }
+            acc
+        } else {
+            self.send(comm, 0, tag(seq, PH_REDUCE_UP), value);
+            self.recv::<(f64, u64)>(comm, 0, tag(seq, PH_REDUCE_DOWN))
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> PendingOp for PendingBcast<T> {
+    type Output = Arc<T>;
+
+    fn wait(self, rank: &mut Rank) -> Arc<T> {
+        let q = self.comm.size();
+        let me = self.comm.my_index();
+        let (out, bytes) = if me == self.root {
+            (self.value.expect("root payload present"), self.bytes)
+        } else {
+            let (v, b) =
+                rank.recv::<(Arc<T>, u64)>(&self.comm, self.root, tag(self.seq, PH_DATA));
+            (v, b as usize)
+        };
+        let (max_post, _) = rank.reduce_post_max(&self.comm, self.seq, (self.posted_at, 0));
+        let cost = rank.machine().bcast_secs(q, bytes);
+        complete(rank, self.step, self.posted_at, max_post, cost, bytes as u64);
+        out
+    }
+}
+
+impl<T: Send + 'static> PendingOp for PendingAlltoallv<T> {
+    type Output = Vec<T>;
+
+    fn wait(self, rank: &mut Rank) -> Vec<T> {
+        let q = self.comm.size();
+        let me = self.comm.my_index();
+        let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
+        out[me] = self.own;
+        let mut recv_bytes = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i != me {
+                let (part, b) = rank.recv::<(T, u64)>(&self.comm, i, tag(self.seq, PH_DATA));
+                recv_bytes += b;
+                *slot = Some(part);
+            }
+        }
+        let (max_post, max_sent) =
+            rank.reduce_post_max(&self.comm, self.seq, (self.posted_at, self.sent_bytes));
+        let cost = rank.machine().alltoall_secs(q, max_sent as usize);
+        complete(rank, self.step, self.posted_at, max_post, cost, recv_bytes);
+        out.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Machine;
+    use crate::runtime::run_ranks;
+
+    #[test]
+    fn ibcast_delivers_to_all() {
+        let results = run_ranks(5, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let payload = (comm.my_index() == 3).then(|| Arc::new(vec![7u32, 8, 9]));
+            let pending = rank.ibcast(&comm, 3, payload, 12, Step::ABcast);
+            let v = pending.wait(rank);
+            (*v).clone()
+        });
+        assert!(results.iter().all(|v| v == &vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn immediate_wait_is_cost_neutral_with_blocking() {
+        // Post-then-wait with no intervening work charges exactly the
+        // blocking cost and records zero overlap.
+        let bytes = 1_000_000;
+        let results = run_ranks(8, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let payload = (comm.my_index() == 0).then(|| Arc::new(0u8));
+            let pending = rank.ibcast(&comm, 0, payload, bytes, Step::ABcast);
+            let _ = pending.wait(rank);
+            let b = rank.clock().breakdown();
+            (b.secs_of(Step::ABcast), b.overlap_total(), b.bytes_of(Step::ABcast))
+        });
+        let expect = Machine::knl().bcast_secs(8, bytes);
+        for &(t, hidden, recorded) in &results {
+            assert!((t - expect).abs() < 1e-12, "got {t}, expected {expect}");
+            assert_eq!(hidden, 0.0);
+            assert_eq!(recorded, bytes as u64);
+        }
+    }
+
+    #[test]
+    fn compute_between_post_and_wait_hides_cost() {
+        // Every rank posts at t=0, computes for longer than the broadcast
+        // takes, then waits: the full cost is hidden and no extra modeled
+        // time is charged at wait.
+        let bytes = 1_000_000;
+        let m = Machine::knl();
+        let cost = m.bcast_secs(4, bytes);
+        let work = cost * 3.0;
+        let results = run_ranks(4, m, |rank| {
+            let comm = rank.world_comm();
+            let payload = (comm.my_index() == 0).then(|| Arc::new(0u8));
+            let pending = rank.ibcast(&comm, 0, payload, bytes, Step::ABcast);
+            rank.clock_mut().advance(Step::LocalMultiply, work);
+            let _ = pending.wait(rank);
+            let b = rank.clock().breakdown();
+            (rank.clock().now(), b.secs_of(Step::ABcast), b.overlap_of(Step::ABcast))
+        });
+        for &(now, charged, hidden) in &results {
+            assert!((now - work).abs() < 1e-12, "wait added time despite full overlap");
+            assert_eq!(charged, 0.0);
+            assert!((hidden - cost).abs() < 1e-12, "hidden {hidden} != cost {cost}");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_charges_the_remainder() {
+        let bytes = 1_000_000;
+        let m = Machine::knl();
+        let cost = m.bcast_secs(4, bytes);
+        let work = cost / 2.0;
+        let results = run_ranks(4, m, |rank| {
+            let comm = rank.world_comm();
+            let payload = (comm.my_index() == 0).then(|| Arc::new(0u8));
+            let pending = rank.ibcast(&comm, 0, payload, bytes, Step::ABcast);
+            rank.clock_mut().advance(Step::LocalMultiply, work);
+            let _ = pending.wait(rank);
+            let b = rank.clock().breakdown();
+            (b.secs_of(Step::ABcast), b.overlap_of(Step::ABcast))
+        });
+        for &(charged, hidden) in &results {
+            assert!((charged - (cost - work)).abs() < 1e-12);
+            assert!((hidden - work).abs() < 1e-12);
+            // Invariant: charged + hidden equals the blocking cost.
+            assert!((charged + hidden - cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn completion_waits_for_slowest_poster() {
+        // Rank 1 computes 10 s before posting; everyone completes at
+        // 10 + cost, with the skew on the fast ranks attributed to Wait.
+        let bytes = 1 << 20;
+        let m = Machine::knl();
+        let results = run_ranks(2, m, |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 1 {
+                rank.clock_mut().advance(Step::LocalMultiply, 10.0);
+            }
+            let payload = (comm.my_index() == 0).then(|| Arc::new(0u8));
+            let pending = rank.ibcast(&comm, 0, payload, bytes, Step::BBcast);
+            let _ = pending.wait(rank);
+            let b = rank.clock().breakdown();
+            (rank.clock().now(), b.secs_of(Step::Wait), b.secs_of(Step::BBcast))
+        });
+        let cost = m.bcast_secs(2, bytes);
+        for &(now, _, charged) in &results {
+            assert!((now - (10.0 + cost)).abs() < 1e-12);
+            assert!((charged - cost).abs() < 1e-12);
+        }
+        assert!((results[0].1 - 10.0).abs() < 1e-12, "rank 0 waits out the skew");
+        assert_eq!(results[1].1, 0.0);
+    }
+
+    #[test]
+    fn ialltoallv_transposes_and_accounts_like_blocking() {
+        let results = run_ranks(2, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let bytes = if rank.rank() == 0 { [0, 1_000_000] } else { [1, 0] };
+            let parts: Vec<String> = (0..2).map(|i| format!("{}->{}", rank.rank(), i)).collect();
+            let pending = rank.ialltoallv(&comm, parts, &bytes, Step::AllToAllFiber);
+            let out = pending.wait(rank);
+            let b = rank.clock().breakdown();
+            (out, b.secs_of(Step::AllToAllFiber), b.bytes_of(Step::AllToAllFiber))
+        });
+        let expect = Machine::knl().alltoall_secs(2, 1_000_000);
+        for (r, (out, secs, bytes)) in results.iter().enumerate() {
+            for (i, s) in out.iter().enumerate() {
+                assert_eq!(s, &format!("{i}->{r}"));
+            }
+            assert!((secs - expect).abs() < 1e-12, "heaviest sender sets the cost");
+            // Receive-side recording, as in the blocking variant.
+            assert_eq!(*bytes, if r == 0 { 1 } else { 1_000_000 });
+        }
+    }
+
+    #[test]
+    fn single_member_comm_is_free() {
+        let results = run_ranks(1, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let pending = rank.ibcast(&comm, 0, Some(Arc::new(5u64)), 64, Step::ABcast);
+            let v = *pending.wait(rank);
+            let pending = rank.ialltoallv(&comm, vec![v], &[64], Step::AllToAllFiber);
+            let out = pending.wait(rank);
+            (out, rank.clock().now())
+        });
+        assert_eq!(results[0].0, vec![5]);
+        assert_eq!(results[0].1, 0.0);
+    }
+
+    #[test]
+    fn pipelined_posts_interleave_with_blocking_collectives() {
+        // Post two broadcasts back-to-back, run a blocking allreduce on the
+        // same communicator in between, then wait both — tag sequencing and
+        // the stash keep everything straight.
+        let results = run_ranks(3, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            let p0 = (comm.my_index() == 0).then(|| Arc::new(10u32));
+            let pending0 = rank.ibcast(&comm, 0, p0, 4, Step::ABcast);
+            let p1 = (comm.my_index() == 1).then(|| Arc::new(20u32));
+            let pending1 = rank.ibcast(&comm, 1, p1, 4, Step::BBcast);
+            let sum = rank.allreduce(&comm, 1u64, |a, b| a + b, 8, Step::Other);
+            let v0 = *pending0.wait(rank);
+            let v1 = *pending1.wait(rank);
+            (v0, v1, sum)
+        });
+        assert!(results.iter().all(|&r| r == (10, 20, 3)));
+    }
+}

@@ -99,6 +99,10 @@ impl StepReport {
         self.counters.iter().any(|c| c.is_some())
     }
 
+    fn has_overlap(&self) -> bool {
+        self.rows.iter().any(|(_, b)| b.overlap_total() > 0.0)
+    }
+
     fn symbolic_secs(b: &StepBreakdown) -> f64 {
         b.secs_of(Step::SymbolicComm) + b.secs_of(Step::SymbolicComp)
     }
@@ -119,6 +123,10 @@ impl StepReport {
             out.push_str(&format!(" {name:>14}"));
         }
         out.push_str(&format!(" {:>14}", "Total"));
+        let with_overlap = self.has_overlap();
+        if with_overlap {
+            out.push_str(&format!(" {:>14}", "Hidden"));
+        }
         let with_counters = self.has_counters();
         if with_counters {
             out.push_str(&format!(" {:>12} {:>14} {:>14}", "Allocs", "PeakScratchB", "MemcpyB"));
@@ -135,6 +143,9 @@ impl StepReport {
                 out.push_str(&format!(" {v:>14.4}"));
             }
             out.push_str(&format!(" {:>14.4}", b.total()));
+            if with_overlap {
+                out.push_str(&format!(" {:>14.4}", b.overlap_total()));
+            }
             if with_counters {
                 match cnt {
                     Some(c) => out.push_str(&format!(
@@ -155,7 +166,7 @@ impl StepReport {
         for s in ALL_STEPS {
             out.push_str(&format!(",{}", s.label()));
         }
-        out.push_str(",total,comm_total,comp_total");
+        out.push_str(",total,comm_total,comp_total,overlap_total");
         let with_counters = self.has_counters();
         if with_counters {
             out.push_str(",allocs,peak_scratch_bytes,memcpy_bytes");
@@ -167,10 +178,11 @@ impl StepReport {
                 out.push_str(&format!(",{:.6e}", b.secs_of(s)));
             }
             out.push_str(&format!(
-                ",{:.6e},{:.6e},{:.6e}",
+                ",{:.6e},{:.6e},{:.6e},{:.6e}",
                 b.total(),
                 b.comm_total(),
-                b.comp_total()
+                b.comp_total(),
+                b.overlap_total()
             ));
             if with_counters {
                 match cnt {
@@ -251,6 +263,24 @@ mod tests {
         assert!(metered_line.ends_with("42,4096,1234"));
         assert_eq!(r.counters().len(), 2);
         assert!(r.counters()[0].is_none());
+    }
+
+    #[test]
+    fn hidden_column_appears_only_with_overlap() {
+        let mut r = StepReport::new();
+        r.push("blocking", bd(1.0, 2.0));
+        assert!(!r.to_table().contains("Hidden"));
+        // CSV always carries overlap_total for uniform schemas.
+        assert!(r.to_csv().lines().next().unwrap().ends_with("comp_total,overlap_total"));
+        let mut b = bd(0.5, 2.0);
+        b.overlap_secs[Step::ABcast as usize] = 0.25;
+        r.push("overlapped", b);
+        let t = r.to_table();
+        assert!(t.contains("Hidden"));
+        assert!(t.contains("0.2500"));
+        let csv = r.to_csv();
+        let line = csv.lines().find(|l| l.starts_with("overlapped")).unwrap();
+        assert!(line.ends_with("2.500000e-1"));
     }
 
     #[test]

@@ -17,31 +17,50 @@ pub struct TraceEvent {
     pub start: f64,
     /// Span end, modeled seconds.
     pub end: f64,
+    /// Seconds of communication hidden behind computation, for zero-length
+    /// overlap markers emitted when a nonblocking collective completes
+    /// under cover of other work (see [`crate::RankClock::record_overlap`]).
+    /// `0.0` for ordinary spans.
+    pub hidden: f64,
 }
 
 /// Render per-rank event lists as Chrome trace JSON.
 ///
 /// Rank `i`'s events appear on thread id `i`; durations are microseconds
-/// as the format requires. Zero-length spans are skipped.
+/// as the format requires. Positive-length spans render as `X` duration
+/// events; zero-length overlap markers (`hidden > 0`) render as `i`
+/// instant events carrying the hidden microseconds in `args`, making the
+/// overlap savings of nonblocking collectives visible on the timeline.
+/// Other zero-length spans are skipped.
 pub fn chrome_trace_json(per_rank: &[Vec<TraceEvent>]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for (rank, events) in per_rank.iter().enumerate() {
         for e in events {
             let dur_us = (e.end - e.start) * 1e6;
-            if dur_us <= 0.0 {
+            let entry = if dur_us > 0.0 {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank}}}",
+                    e.step.label(),
+                    e.start * 1e6,
+                    dur_us
+                )
+            } else if e.hidden > 0.0 {
+                format!(
+                    "{{\"name\":\"{} overlapped\",\"ph\":\"i\",\"ts\":{:.3},\"s\":\"t\",\"pid\":0,\
+                     \"tid\":{rank},\"args\":{{\"hidden_us\":{:.3}}}}}",
+                    e.step.label(),
+                    e.start * 1e6,
+                    e.hidden * 1e6
+                )
+            } else {
                 continue;
-            }
+            };
             if !first {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank}}}",
-                e.step.label(),
-                e.start * 1e6,
-                dur_us
-            ));
+            out.push_str(&entry);
         }
     }
     out.push_str("]}");
@@ -60,17 +79,20 @@ mod tests {
                     step: Step::ABcast,
                     start: 0.0,
                     end: 1e-3,
+                    hidden: 0.0,
                 },
                 TraceEvent {
                     step: Step::LocalMultiply,
                     start: 1e-3,
                     end: 2e-3,
+                    hidden: 0.0,
                 },
             ],
             vec![TraceEvent {
                 step: Step::Wait,
                 start: 0.0,
-                end: 0.0, // zero-length: skipped
+                end: 0.0, // zero-length, no hidden time: skipped
+                hidden: 0.0,
             }],
         ];
         let json = chrome_trace_json(&events);
@@ -79,6 +101,21 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
         assert!(json.contains("\"name\":\"A-Bcast\""));
         assert!(json.contains("\"tid\":0"));
+    }
+
+    #[test]
+    fn overlap_markers_render_as_instant_events() {
+        let events = vec![vec![TraceEvent {
+            step: Step::ABcast,
+            start: 2e-3,
+            end: 2e-3,
+            hidden: 5e-4,
+        }]];
+        let json = chrome_trace_json(&events);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"name\":\"A-Bcast overlapped\""));
+        assert!(json.contains("\"hidden_us\":500.000"));
+        assert!(!json.contains("\"ph\":\"X\""));
     }
 
     #[test]
