@@ -23,6 +23,8 @@
 //!
 //! [`components`] provides the union-find used to extract clusters.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod coarsen;
 pub mod components;

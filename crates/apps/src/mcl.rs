@@ -132,7 +132,7 @@ pub fn chaos(m: &CscMatrix<f64>) -> f64 {
         if vals.is_empty() {
             continue;
         }
-        let mx = vals.iter().cloned().fold(0.0, f64::max);
+        let mx = vals.iter().copied().fold(0.0, f64::max);
         let sumsq: f64 = vals.iter().map(|v| v * v).sum();
         worst = worst.max(mx - sumsq);
     }

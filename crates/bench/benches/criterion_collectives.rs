@@ -12,7 +12,7 @@ fn bench_runtime(c: &mut Criterion) {
     group.sample_size(10);
     for p in [16usize, 64] {
         group.bench_with_input(BenchmarkId::new("spawn_join", p), &p, |b, &p| {
-            b.iter(|| run_ranks(p, Machine::knl(), |rank| rank.rank()))
+            b.iter(|| run_ranks(p, Machine::knl(), |rank| rank.rank()));
         });
         group.bench_with_input(BenchmarkId::new("bcast_100rounds", p), &p, |b, &p| {
             b.iter(|| {
@@ -24,7 +24,7 @@ fn bench_runtime(c: &mut Criterion) {
                         rank.bcast(&grid.row, root, payload, 64, Step::ABcast);
                     }
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("allreduce_100rounds", p), &p, |b, &p| {
             b.iter(|| {
@@ -36,7 +36,7 @@ fn bench_runtime(c: &mut Criterion) {
                     }
                     acc
                 })
-            })
+            });
         });
     }
     group.finish();

@@ -25,16 +25,16 @@ fn bench_kernels(c: &mut Criterion) {
     group.sample_size(10);
     for (name, a, b) in pairs() {
         group.bench_with_input(BenchmarkId::new("unsorted-hash", name), &(&a, &b), |bch, (a, b)| {
-            bch.iter(|| spgemm_hash_unsorted::<PlusTimesF64>(a, b).unwrap())
+            bch.iter(|| spgemm_hash_unsorted::<PlusTimesF64>(a, b).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("hybrid-sorted", name), &(&a, &b), |bch, (a, b)| {
-            bch.iter(|| spgemm_hybrid::<PlusTimesF64>(a, b).unwrap())
+            bch.iter(|| spgemm_hybrid::<PlusTimesF64>(a, b).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("heap", name), &(&a, &b), |bch, (a, b)| {
-            bch.iter(|| spgemm_heap::<PlusTimesF64>(a, b).unwrap())
+            bch.iter(|| spgemm_heap::<PlusTimesF64>(a, b).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("spa", name), &(&a, &b), |bch, (a, b)| {
-            bch.iter(|| spgemm_spa::<PlusTimesF64>(a, b).unwrap())
+            bch.iter(|| spgemm_spa::<PlusTimesF64>(a, b).unwrap());
         });
     }
     group.finish();

@@ -37,7 +37,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
@@ -163,12 +163,12 @@ fn bench_workspace(c: &mut Criterion) {
     let mut group = c.benchmark_group("workspace_batch");
     group.sample_size(10);
     group.bench_function("fresh-workspace-per-call", |b| {
-        b.iter(|| batch_allocating(&stages))
+        b.iter(|| batch_allocating(&stages));
     });
     let mut ws = SpGemmWorkspace::<f64>::new();
     batch_with_workspace(&stages, &mut ws); // warm
     group.bench_function("reused-workspace", |b| {
-        b.iter(|| batch_with_workspace(&stages, &mut ws))
+        b.iter(|| batch_with_workspace(&stages, &mut ws));
     });
     group.finish();
 }

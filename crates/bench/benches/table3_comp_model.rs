@@ -47,8 +47,8 @@ fn main() {
         ));
         lm_times.push(lm);
     }
-    let spread = lm_times.iter().cloned().fold(0.0f64, f64::max)
-        / lm_times.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = lm_times.iter().copied().fold(0.0f64, f64::max)
+        / lm_times.iter().copied().fold(f64::MAX, f64::min);
     println!("  max/min across b: {spread:.2} (≈1 expected)\n");
 
     // (2, 3) Merges vs l under both kernel generations.

@@ -21,21 +21,21 @@ use spgemm_sparse::CscMatrix;
 /// Randomly permute a square matrix (CombBLAS/HipMCL ingestion practice):
 /// keeps cluster structure from aligning with process-grid blocks, which
 /// would concentrate whole SUMMA stages on single process rows.
-fn scrambled(m: CscMatrix<f64>, seed: u64) -> CscMatrix<f64> {
+fn scrambled(m: &CscMatrix<f64>, seed: u64) -> CscMatrix<f64> {
     let perm = random_permutation(m.nrows(), seed);
-    permute_symmetric(&m, &perm)
+    permute_symmetric(m, &perm)
 }
 
 /// Friendster-like: symmetric R-MAT, power-law degrees.
 pub fn friendster_like(scale: u32) -> CscMatrix<f64> {
-    scrambled(rmat::<PlusTimesF64>(scale, 12, None, true, 0xF41E_0001), 0xF41E)
+    scrambled(&rmat::<PlusTimesF64>(scale, 12, None, true, 0xF41E_0001), 0xF41E)
 }
 
 /// Isolates-like: dense protein-similarity communities (high compression
 /// factor under squaring; the flop-heavy regime).
 pub fn isolates_like(nclusters: usize, cluster_size: usize) -> CscMatrix<f64> {
     scrambled(
-        clustered_similarity(nclusters, cluster_size, 14, 2, 0x150_1A7E5),
+        &clustered_similarity(nclusters, cluster_size, 14, 2, 0x150_1A7E5),
         0x150,
     )
 }
@@ -44,14 +44,14 @@ pub fn isolates_like(nclusters: usize, cluster_size: usize) -> CscMatrix<f64> {
 /// communication dominates earlier (the Fig. 9 efficiency-drop driver).
 pub fn metaclust_like(nclusters: usize, cluster_size: usize) -> CscMatrix<f64> {
     scrambled(
-        clustered_similarity(nclusters, cluster_size, 5, 1, 0x3E7A_C125),
+        &clustered_similarity(nclusters, cluster_size, 5, 1, 0x3E7A_C125),
         0x3E7A,
     )
 }
 
 /// Eukarya-like: the small protein network of Figs. 14–15.
 pub fn eukarya_like() -> CscMatrix<f64> {
-    scrambled(clustered_similarity(6, 150, 10, 1, 0xE0CA_51A1), 0xE0CA)
+    scrambled(&clustered_similarity(6, 150, 10, 1, 0xE0CA_51A1), 0xE0CA)
 }
 
 /// Densest protein communities: very high compression factor, so local
@@ -59,22 +59,22 @@ pub fn eukarya_like() -> CscMatrix<f64> {
 /// paper's figure hinges on compute-vs-communication balance
 /// (hyperthreading, KNL-vs-Haswell).
 pub fn dense_protein_like() -> CscMatrix<f64> {
-    scrambled(clustered_similarity(8, 300, 40, 1, 0xDE5E_0001), 0xDE5E)
+    scrambled(&clustered_similarity(8, 300, 40, 1, 0xDE5E_0001), 0xDE5E)
 }
 
 /// Shuffle the read (row) order of a reads × k-mers matrix: genome-order
 /// reads make `A·Aᵀ` a diagonal band that concentrates on the grid's
 /// diagonal blocks; ingestion pipelines see reads in arbitrary order.
-fn shuffled_reads(m: CscMatrix<u64>, seed: u64) -> CscMatrix<f64> {
+fn shuffled_reads(m: &CscMatrix<u64>, seed: u64) -> CscMatrix<f64> {
     use spgemm_sparse::ops::permute_rows;
     let perm = random_permutation(m.nrows(), seed);
-    permute_rows(&m, &perm).map(|v| v as f64)
+    permute_rows(m, &perm).map(|v| v as f64)
 }
 
 /// Rice-kmers-like: reads × k-mers with ~2 nonzeros per column; its
 /// `A·Aᵀ` satisfies `nnz(A·Aᵀ) ≈ nnz(A)` so `b = 1` (Fig. 11).
 pub fn ricekmers_like(nreads: usize) -> CscMatrix<f64> {
-    shuffled_reads(kmer_matrix(nreads, nreads * 12, 2, 0x51CE_0001), 0x51CE)
+    shuffled_reads(&kmer_matrix(nreads, nreads * 12, 2, 0x51CE_0001), 0x51CE)
 }
 
 /// Metaclust20m-like: reads × k-mers with heavier columns plus *repeat*
@@ -87,7 +87,7 @@ pub fn metaclust20m_like(nreads: usize) -> CscMatrix<f64> {
     let windows = kmer_matrix(nreads, nreads * 6, 6, 0x20A1_0001);
     // Repeat k-mers: each occurs in 6 reads scattered across the dataset.
     let repeats = er_random::<PlusTimesU64>(nreads, nreads * 4, 6, 0x20A1_0002).map(|_| 1u64);
-    shuffled_reads(col_concat(&[windows, repeats]).expect("concat"), 0x20A1)
+    shuffled_reads(&col_concat(&[windows, repeats]).expect("concat"), 0x20A1)
 }
 
 /// Column-density gradient matrix: columns ramp linearly from ~2 to

@@ -6,13 +6,15 @@
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--layers L] [--batches B | --budget-mb M]
 //!                 [--kernels new|previous] [--machine knl|haswell|knl-mini|knl-ht]
-//!                 [--batching cyclic|block|balanced] [--overlap]
+//!                 [--batching cyclic|block|balanced] [--overlap] [--check]
 //!                 [--trace T.json] [--out C.mtx] [--verify]
 //! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
 //!                 [--select K] [--budget-mb M]
 //! spgemm triangles --input M.mtx --procs P [--layers L]
 //! spgemm overlap  --input M.mtx --procs P [--layers L] [--min-shared S]
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod args;
 
@@ -22,6 +24,7 @@ use spgemm_apps::overlap::{find_overlaps, OverlapConfig};
 use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
 use spgemm_core::{run_spgemm, KernelStrategy, MemoryBudget, OverlapMode, RunConfig};
+use spgemm_simgrid::CheckMode;
 use spgemm_simgrid::{Machine, StepReport};
 use spgemm_sparse::gen::{clustered_similarity, er_random, kmer_matrix, rmat};
 use spgemm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
@@ -34,7 +37,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv = std::env::args().skip(1);
-    match Args::parse(argv).and_then(run) {
+    match Args::parse(argv).and_then(|args| run(&args)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -44,14 +47,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
-        "gen" => cmd_gen(&args),
-        "info" => cmd_info(&args),
-        "multiply" => cmd_multiply(&args),
-        "mcl" => cmd_mcl(&args),
-        "triangles" => cmd_triangles(&args),
-        "overlap" => cmd_overlap(&args),
+        "gen" => cmd_gen(args),
+        "info" => cmd_info(args),
+        "multiply" => cmd_multiply(args),
+        "mcl" => cmd_mcl(args),
+        "triangles" => cmd_triangles(args),
+        "overlap" => cmd_overlap(args),
         other => Err(format!("unknown subcommand: {other}")),
     }
 }
@@ -173,6 +176,9 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     }
     if args.flag("overlap") {
         cfg.overlap = OverlapMode::Overlapped;
+    }
+    if args.flag("check") {
+        cfg.check = CheckMode::Check;
     }
     if args.opt("trace").is_some() {
         cfg.trace = true;

@@ -298,6 +298,13 @@ pub fn batched_summa3d<S: Semiring>(
             .map(|&c| (b_col_start + c) as u32)
             .collect();
         let b_piece = Arc::new(extract_cols(&b.local, &batch_cols.cols));
+        spgemm_sparse::debug_validate!(
+            *b_piece,
+            spgemm_sparse::Sortedness::Sorted,
+            "batch {t} B-piece ({} of {} local columns)",
+            batch_cols.cols.len(),
+            b.local.ncols()
+        );
         (global_cols, batch_cols.piece_offsets, b_piece)
     };
 

@@ -264,7 +264,8 @@ mod tests {
     fn scatter_gather_roundtrip_a_style() {
         let global = er_random::<PlusTimesF64>(37, 41, 3, 17);
         for (p, l) in [(4, 1), (8, 2), (16, 4), (16, 16)] {
-            let g2 = global.clone();
+            #[allow(clippy::redundant_clone)] // `global` is used again below
+        let g2 = global.clone();
             let results = run_ranks(p, Machine::knl(), move |rank| {
                 let grid = Grid3D::new(rank, l);
                 let payload = (rank.rank() == 0).then(|| Arc::new(g2.clone()));
@@ -283,7 +284,8 @@ mod tests {
     fn scatter_gather_roundtrip_b_style() {
         let global = er_random::<PlusTimesF64>(29, 33, 4, 18);
         for (p, l) in [(4, 1), (8, 2), (12, 3), (16, 4)] {
-            let g2 = global.clone();
+            #[allow(clippy::redundant_clone)] // `global` is used again below
+        let g2 = global.clone();
             let results = run_ranks(p, Machine::knl(), move |rank| {
                 let grid = Grid3D::new(rank, l);
                 let payload = (rank.rank() == 0).then(|| Arc::new(g2.clone()));
@@ -302,7 +304,8 @@ mod tests {
     fn distributed_transpose_matches_serial() {
         let global = er_random::<PlusTimesF64>(33, 47, 4, 77);
         for (p, l) in [(1usize, 1usize), (4, 1), (8, 2), (16, 4), (12, 3)] {
-            let g2 = global.clone();
+            #[allow(clippy::redundant_clone)] // `global` is used again below
+        let g2 = global.clone();
             let results = run_ranks(p, Machine::knl(), move |rank| {
                 let grid = Grid3D::new(rank, l);
                 let payload = (rank.rank() == 0).then(|| Arc::new(g2.clone()));
@@ -329,6 +332,7 @@ mod tests {
         let serial_at = spgemm_sparse::ops::transpose(&global);
         let (reference, _) =
             spgemm_sparse::spgemm::spgemm_spa::<PlusTimesF64>(&global, &serial_at).unwrap();
+        #[allow(clippy::redundant_clone)] // `global` is used again below
         let g2 = global.clone();
         let results = run_ranks(16, Machine::knl(), move |rank| {
             let grid = Grid3D::new(rank, 4);

@@ -12,7 +12,7 @@ use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
 use crate::symbolic::SymbolicOutcome;
 use crate::{CoreError, Result};
-use spgemm_simgrid::{max_breakdown, run_ranks, Grid3D, Machine, StepBreakdown};
+use spgemm_simgrid::{max_breakdown, run_ranks_checked, CheckMode, Grid3D, Machine, StepBreakdown};
 use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
 
@@ -46,6 +46,10 @@ pub struct RunConfig {
     /// Blocking (paper-faithful) or overlapped (pipelined nonblocking
     /// broadcasts) communication.
     pub overlap: OverlapMode,
+    /// Collective-protocol verification ("MPI lint"). Defaults to
+    /// [`CheckMode::default_mode`]: on in debug builds and whenever
+    /// `SPGEMM_CHECK` enables it, off in release runs.
+    pub check: CheckMode,
 }
 
 impl RunConfig {
@@ -64,6 +68,7 @@ impl RunConfig {
             trace: false,
             merge_schedule: MergeSchedule::AfterAllStages,
             overlap: OverlapMode::Blocking,
+            check: CheckMode::default_mode(),
         }
     }
 }
@@ -127,7 +132,7 @@ pub fn run_spgemm<S: Semiring>(
     let (m, n) = (a.nrows(), b.ncols());
     let cfg_copy = *cfg;
 
-    let results: Vec<Result<PerRank<S::T>>> = run_ranks(cfg.p, cfg.machine, move |rank| {
+    let results: Vec<Result<PerRank<S::T>>> = run_ranks_checked(cfg.p, cfg.machine, cfg.check, move |rank| {
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }
@@ -191,7 +196,7 @@ pub fn run_spgemm_aat<S: Semiring>(
     let (m, n) = (a.nrows(), a.nrows());
     let cfg_copy = *cfg;
 
-    let results: Vec<Result<PerRank<S::T>>> = run_ranks(cfg.p, cfg.machine, move |rank| {
+    let results: Vec<Result<PerRank<S::T>>> = run_ranks_checked(cfg.p, cfg.machine, cfg.check, move |rank| {
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }

@@ -16,7 +16,7 @@ use spgemm_sparse::spgemm::{
     spgemm_hash_unsorted, spgemm_hash_unsorted_with_workspace, spgemm_hybrid,
     spgemm_hybrid_with_workspace, symbolic_col_counts_with_workspace,
 };
-use spgemm_sparse::{CscMatrix, Semiring, SpGemmWorkspace, WorkStats};
+use spgemm_sparse::{CscMatrix, Semiring, Sortedness, SpGemmWorkspace, WorkStats};
 
 /// Which local-kernel generation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +36,16 @@ impl KernelStrategy {
         match self {
             KernelStrategy::Previous => "previous(heap/hybrid,sorted)",
             KernelStrategy::New => "new(unsorted-hash)",
+        }
+    }
+
+    /// The column-order contract of this generation's *intermediates*
+    /// (Local-Multiply and Merge-Layer outputs). `Previous` keeps
+    /// everything sorted; `New` defers sorting to Merge-Fiber (Sec. IV-D).
+    pub fn intermediate_sortedness(self) -> Sortedness {
+        match self {
+            KernelStrategy::Previous => Sortedness::Sorted,
+            KernelStrategy::New => Sortedness::Unsorted,
         }
     }
 
@@ -90,6 +100,15 @@ pub struct LocalKernels<T: Copy> {
     totals: WorkStats,
 }
 
+impl<T: Copy> std::fmt::Debug for LocalKernels<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalKernels")
+            .field("strategy", &self.strategy)
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Copy> LocalKernels<T> {
     /// Fresh engine for one rank; scratch starts empty and warms up over
     /// the first stages.
@@ -130,6 +149,12 @@ impl<T: Copy> LocalKernels<T> {
                 spgemm_hash_unsorted_with_workspace::<S>(a, b, &mut self.workspace)?
             }
         };
+        spgemm_sparse::debug_validate!(
+            c,
+            self.strategy.intermediate_sortedness(),
+            "Local-Multiply output ({})",
+            self.strategy.name()
+        );
         self.totals.merge(stats);
         Ok((c, stats))
     }
@@ -145,6 +170,13 @@ impl<T: Copy> LocalKernels<T> {
                 merge_hash_unsorted_with_workspace::<S>(parts, &mut self.workspace)?
             }
         };
+        spgemm_sparse::debug_validate!(
+            c,
+            self.strategy.intermediate_sortedness(),
+            "Merge-Layer output ({}, {} parts)",
+            self.strategy.name(),
+            parts.len()
+        );
         self.totals.merge(stats);
         Ok((c, stats))
     }
@@ -160,6 +192,13 @@ impl<T: Copy> LocalKernels<T> {
                 merge_hash_sorted_with_workspace::<S>(parts, &mut self.workspace)?
             }
         };
+        spgemm_sparse::debug_validate!(
+            c,
+            Sortedness::Sorted,
+            "Merge-Fiber output ({}, {} parts)",
+            self.strategy.name(),
+            parts.len()
+        );
         self.totals.merge(stats);
         Ok((c, stats))
     }

@@ -25,6 +25,8 @@
 //! analytic Table II/III cost evaluator), and [`harness`] (one-call
 //! scatter→multiply→gather drivers used by tests, examples and benches).
 
+#![forbid(unsafe_code)]
+
 pub mod batched;
 pub mod dist;
 pub mod harness;

@@ -45,6 +45,15 @@ pub struct StagePending<T> {
     b: PendingBcast<CscMatrix<T>>,
 }
 
+impl<T> std::fmt::Debug for StagePending<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagePending")
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .finish()
+    }
+}
+
 /// Stage-0 inputs of the *next* batch, staged one batch ahead so the
 /// current batch's last SUMMA stage can post their broadcasts (the
 /// cross-batch leg of the pipeline: Merge-Layer, AllToAll-Fiber and
@@ -58,6 +67,15 @@ pub struct NextStage<T> {
     pub b_piece: Arc<CscMatrix<T>>,
     /// Modeled size of `b_piece`.
     pub b_bytes: usize,
+}
+
+impl<T> std::fmt::Debug for NextStage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NextStage")
+            .field("a_bytes", &self.a_bytes)
+            .field("b_bytes", &self.b_bytes)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Post (without waiting) stage `s`'s A/B broadcasts.
@@ -137,6 +155,22 @@ pub fn summa2d_layer<S: Semiring>(
             grid.i,
             grid.j
         );
+        spgemm_sparse::debug_validate!(
+            *a_recv,
+            spgemm_sparse::Sortedness::Sorted,
+            "stage {s} A-Bcast operand (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
+        spgemm_sparse::debug_validate!(
+            *b_recv,
+            spgemm_sparse::Sortedness::Sorted,
+            "stage {s} B-Bcast operand (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
 
         // Local-Multiply.
         let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
@@ -199,6 +233,22 @@ pub fn summa2d_layer_pipelined<S: Semiring>(
             b_recv.nrows(),
             "stage {s}: A column slice and B row slice must conform \
              (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
+        spgemm_sparse::debug_validate!(
+            *a_recv,
+            spgemm_sparse::Sortedness::Sorted,
+            "stage {s} pipelined A-Bcast operand (layer {}, row {}, col {})",
+            grid.k,
+            grid.i,
+            grid.j
+        );
+        spgemm_sparse::debug_validate!(
+            *b_recv,
+            spgemm_sparse::Sortedness::Sorted,
+            "stage {s} pipelined B-Bcast operand (layer {}, row {}, col {})",
             grid.k,
             grid.i,
             grid.j
@@ -346,6 +396,7 @@ mod tests {
                 (rank.rank() == 0).then(|| Arc::new(b_global.clone())),
             );
             let a_shared = Arc::new(a.local.clone());
+            #[allow(clippy::redundant_clone)] // `b` is used again below
             let b_shared = Arc::new(b.local.clone());
             let mut mem = MemTracker::new();
             let mut kernels = LocalKernels::new(strategy);
@@ -439,6 +490,7 @@ mod tests {
                     (rank.rank() == 0).then(|| Arc::new(a.clone())),
                 );
                 let a_shared = Arc::new(da.local.clone());
+                #[allow(clippy::redundant_clone)] // `db` is used again below
                 let b_shared = Arc::new(db.local.clone());
                 let mut mem = MemTracker::new();
                 let mut kernels = LocalKernels::new(KernelStrategy::New);
@@ -491,6 +543,7 @@ mod tests {
                 (rank.rank() == 0).then(|| Arc::new(b.clone())),
             );
             let a_shared = Arc::new(a.local.clone());
+            #[allow(clippy::redundant_clone)] // `b` is used again below
             let b_shared = Arc::new(b.local.clone());
             let mut mem = MemTracker::new();
             let mut kernels = LocalKernels::new(KernelStrategy::New);

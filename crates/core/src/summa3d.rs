@@ -106,13 +106,30 @@ pub fn summa3d_batch<S: Semiring>(
     let my_cols = received[0].1.clone();
     debug_assert!(received.iter().all(|(_, g)| g == &my_cols));
 
-    // Merge-Fiber (Alg. 2 line 6) — the one place output is sorted.
+    // Merge-Fiber (Alg. 2 line 6) — the one place output is sorted. The
+    // pieces crossed the fiber all-to-all, so re-check them against the
+    // strategy's intermediate contract before merging.
     let pieces: Vec<CscMatrix<S::T>> = received.into_iter().map(|(p, _)| p).collect();
+    if cfg!(debug_assertions) {
+        for (k, piece) in pieces.iter().enumerate() {
+            spgemm_sparse::debug_validate!(
+                *piece,
+                kernels.strategy().intermediate_sortedness(),
+                "fiber all-to-all piece {k} (layer {})",
+                grid.k
+            );
+        }
+    }
     let (merged, stats) = kernels.merge_fiber::<S>(&pieces)?;
     rank.compute(Step::MergeFiber, stats.work_units);
     mem.free(recv_bytes);
     mem.alloc(merged.modeled_bytes(r));
-    debug_assert!(merged.is_sorted(), "Merge-Fiber output must be sorted");
+    spgemm_sparse::debug_validate!(
+        merged,
+        spgemm_sparse::Sortedness::Sorted,
+        "Merge-Fiber output (layer {}, batch piece)",
+        grid.k
+    );
 
     Ok((
         CPiece {

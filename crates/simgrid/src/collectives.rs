@@ -16,6 +16,7 @@
 //! paper's `r` bytes per nonzero), decoupling the simulator from any
 //! particular matrix representation.
 
+use crate::check::OpKind;
 use crate::clock::Step;
 use crate::comm::{Comm, Rank};
 use std::sync::Arc;
@@ -77,6 +78,7 @@ impl Rank {
     ) -> Arc<T> {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::Bcast, Some(root), None, true);
         let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let (out, bytes) = if me == root {
@@ -109,6 +111,7 @@ impl Rank {
     ) -> T {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::Allreduce, None, None, true);
         let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let result = if me == 0 {
@@ -142,6 +145,7 @@ impl Rank {
     ) -> Vec<T> {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::Allgather, None, None, true);
         let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         for i in 0..q {
@@ -179,9 +183,17 @@ impl Rank {
         step: Step,
     ) -> Vec<T> {
         let q = comm.size();
+        let seq = self.next_seq(comm);
+        self.check_enter(
+            comm,
+            seq,
+            OpKind::Alltoallv,
+            None,
+            Some((parts.len(), bytes.len())),
+            true,
+        );
         assert_eq!(parts.len(), q, "alltoallv needs one part per member");
         assert_eq!(bytes.len(), q, "alltoallv needs one size per member");
-        let seq = self.next_seq(comm);
         let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let my_sent: usize = bytes.iter().sum::<usize>() - bytes[me];
@@ -238,6 +250,7 @@ impl Rank {
     pub fn barrier(&mut self, comm: &Comm, step: Step) {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::Barrier, None, None, true);
         let t0 = self.sync_clocks(comm, seq);
         let cost = self.machine().barrier_secs(q);
         self.clock_mut().advance_to(step, t0 + cost);
@@ -262,6 +275,7 @@ impl Rank {
     ) -> Option<Vec<T>> {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::Gather, Some(root), None, true);
         let t0 = self.sync_clocks(comm, seq);
         let me = comm.my_index();
         let result = if me == root {

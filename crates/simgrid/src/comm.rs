@@ -7,6 +7,7 @@
 //! out-of-order arrivals stashed, so independent collectives on different
 //! communicators cannot cross-talk.
 
+use crate::check::CheckShared;
 use crate::clock::{RankClock, Step};
 use crate::cost::Machine;
 use crossbeam::channel::{Receiver, Sender};
@@ -22,10 +23,12 @@ pub(crate) struct Envelope {
     pub payload: Box<dyn Any + Send>,
 }
 
-/// Shared world state: one channel endpoint per rank.
+/// Shared world state: one channel endpoint per rank, plus the protocol
+/// checker when [`crate::check::CheckMode::Check`] is active.
 pub(crate) struct WorldShared {
     pub p: usize,
     pub senders: Vec<Sender<Envelope>>,
+    pub check: Option<Arc<CheckShared>>,
 }
 
 /// A communicator: an ordered group of global ranks.
@@ -133,6 +136,11 @@ impl Rank {
         &mut self.clock
     }
 
+    /// Shared world state (checker and mailboxes).
+    pub(crate) fn world(&self) -> &Arc<WorldShared> {
+        &self.world
+    }
+
     /// Advance the modeled clock by `work_units` of local computation
     /// attributed to `step` (converted through the machine model).
     pub fn compute(&mut self, step: Step, work_units: f64) {
@@ -207,6 +215,15 @@ impl Rank {
                 .rx
                 .recv()
                 .expect("rank mailbox closed while waiting for a message");
+            if env.src == crate::check::POISON_SRC {
+                // The protocol checker tripped on another rank while we were
+                // blocked in a data exchange; surface its report here.
+                let report = env
+                    .payload
+                    .downcast::<String>()
+                    .map_or_else(|_| "protocol violation".into(), |b| *b);
+                panic!("{report}");
+            }
             if env.src == src && env.comm_id == comm_id && env.tag == tag {
                 return Self::downcast(env, src, comm_id, tag);
             }
@@ -222,6 +239,24 @@ impl Rank {
                 std::any::type_name::<T>()
             )
         })
+    }
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank")
+            .field("rank", &self.rank)
+            .field("world_size", &self.world.p)
+            .field("now", &self.clock.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Rank {
+    /// A departing rank can never complete an open rendezvous; tell the
+    /// checker so peers parked on one learn they are stalled.
+    fn drop(&mut self) {
+        self.check_exit();
     }
 }
 

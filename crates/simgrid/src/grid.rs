@@ -178,7 +178,7 @@ mod tests {
             (g.i, g.j, g.k)
         });
         // All coordinates distinct.
-        let mut set: Vec<_> = coords.clone();
+        let mut set: Vec<_> = coords;
         set.sort_unstable();
         set.dedup();
         assert_eq!(set.len(), 16);

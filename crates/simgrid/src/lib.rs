@@ -21,7 +21,20 @@
 //! The α–β model is the same model the paper uses for its own complexity
 //! analysis (Table II), which is what makes the modeled step breakdowns
 //! comparable in *shape* to the paper's measurements.
+//!
+//! Because the simulation is deterministic, MPI usage errors that are
+//! heisenbugs on a real machine are *repeatable* here: the [`check`] module
+//! verifies the collective protocol as it runs (mismatched collective
+//! order, root disagreement, malformed alltoallv descriptors, leaked
+//! nonblocking handles, non-monotone clocks, stalls) and reports a
+//! [`ProtocolViolation`] naming the ranks and operations involved.
+//! Checking defaults on in debug builds — every test exercises it — and is
+//! controlled by [`check::CheckMode`] / the `SPGEMM_CHECK` environment
+//! variable.
 
+#![forbid(unsafe_code)]
+
+pub mod check;
 pub mod clock;
 pub mod collectives;
 pub mod comm;
@@ -32,11 +45,12 @@ pub mod runtime;
 pub mod stats;
 pub mod trace;
 
+pub use check::{CheckMode, OpKind, ProtocolViolation, ViolationKind};
 pub use clock::{RankClock, Step, StepBreakdown};
 pub use comm::{Comm, Rank};
 pub use cost::Machine;
 pub use grid::{Grid2D, Grid3D};
 pub use nonblocking::{PendingAlltoallv, PendingBcast, PendingOp};
-pub use runtime::run_ranks;
+pub use runtime::{run_ranks, run_ranks_checked};
 pub use stats::{max_breakdown, KernelCounters, StepReport};
 pub use trace::{chrome_trace_json, TraceEvent};

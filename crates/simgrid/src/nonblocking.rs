@@ -27,6 +27,7 @@
 //! programs must post and wait in the same order on every member of a
 //! communicator, exactly like the blocking collectives.
 
+use crate::check::{HandleGuard, OpKind};
 use crate::clock::Step;
 use crate::comm::{Comm, Rank};
 use std::sync::Arc;
@@ -80,6 +81,21 @@ pub struct PendingBcast<T> {
     value: Option<Arc<T>>,
     /// Modeled size; authoritative on the root, travels with the data.
     bytes: usize,
+    /// Flags the handle if dropped without [`PendingOp::wait`] (checker /
+    /// debug builds).
+    guard: HandleGuard,
+}
+
+impl<T> std::fmt::Debug for PendingBcast<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingBcast")
+            .field("seq", &self.seq)
+            .field("root", &self.root)
+            .field("step", &self.step)
+            .field("posted_at", &self.posted_at)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Handle of a posted [`Rank::ialltoallv`].
@@ -93,6 +109,20 @@ pub struct PendingAlltoallv<T> {
     own: Option<T>,
     /// Total bytes this rank sent (for the heaviest-sender cost reduce).
     sent_bytes: u64,
+    /// Flags the handle if dropped without [`PendingOp::wait`] (checker /
+    /// debug builds).
+    guard: HandleGuard,
+}
+
+impl<T> std::fmt::Debug for PendingAlltoallv<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingAlltoallv")
+            .field("seq", &self.seq)
+            .field("step", &self.step)
+            .field("posted_at", &self.posted_at)
+            .field("sent_bytes", &self.sent_bytes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Rank {
@@ -110,6 +140,7 @@ impl Rank {
     ) -> PendingBcast<T> {
         let q = comm.size();
         let seq = self.next_seq(comm);
+        self.check_enter(comm, seq, OpKind::IbcastPost, Some(root), None, false);
         let me = comm.my_index();
         let value = if me == root {
             let v = value.expect("ibcast root must supply the payload");
@@ -124,6 +155,7 @@ impl Rank {
             None
         };
         PendingBcast {
+            guard: self.handle_guard(OpKind::IbcastPost, comm, seq),
             comm: comm.clone(),
             seq,
             root,
@@ -146,9 +178,17 @@ impl Rank {
         step: Step,
     ) -> PendingAlltoallv<T> {
         let q = comm.size();
+        let seq = self.next_seq(comm);
+        self.check_enter(
+            comm,
+            seq,
+            OpKind::IalltoallvPost,
+            None,
+            Some((parts.len(), bytes.len())),
+            false,
+        );
         assert_eq!(parts.len(), q, "ialltoallv needs one part per member");
         assert_eq!(bytes.len(), q, "ialltoallv needs one size per member");
-        let seq = self.next_seq(comm);
         let me = comm.my_index();
         let sent_bytes = (bytes.iter().sum::<usize>() - bytes[me]) as u64;
         let mut own: Option<T> = None;
@@ -160,6 +200,7 @@ impl Rank {
             }
         }
         PendingAlltoallv {
+            guard: self.handle_guard(OpKind::IalltoallvPost, comm, seq),
             comm: comm.clone(),
             seq,
             step,
@@ -198,7 +239,8 @@ impl Rank {
 impl<T: Send + Sync + 'static> PendingOp for PendingBcast<T> {
     type Output = Arc<T>;
 
-    fn wait(self, rank: &mut Rank) -> Arc<T> {
+    fn wait(mut self, rank: &mut Rank) -> Arc<T> {
+        self.guard.disarm();
         let q = self.comm.size();
         let me = self.comm.my_index();
         let (out, bytes) = if me == self.root {
@@ -218,7 +260,8 @@ impl<T: Send + Sync + 'static> PendingOp for PendingBcast<T> {
 impl<T: Send + 'static> PendingOp for PendingAlltoallv<T> {
     type Output = Vec<T>;
 
-    fn wait(self, rank: &mut Rank) -> Vec<T> {
+    fn wait(mut self, rank: &mut Rank) -> Vec<T> {
+        self.guard.disarm();
         let q = self.comm.size();
         let me = self.comm.my_index();
         let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();

@@ -1,5 +1,6 @@
 //! Spawning and joining simulated ranks.
 
+use crate::check::{CheckMode, CheckShared};
 use crate::comm::{Envelope, Rank, WorldShared};
 use crate::cost::Machine;
 use crossbeam::channel::unbounded;
@@ -12,10 +13,28 @@ const RANK_STACK_BYTES: usize = 2 * 1024 * 1024;
 /// Run `f` on `p` simulated ranks (one OS thread each) under `machine`'s
 /// cost model; returns each rank's result in rank order.
 ///
+/// Protocol checking follows [`CheckMode::default_mode`]: on in debug
+/// builds and whenever `SPGEMM_CHECK` enables it, so every test exercises
+/// the checker. Use [`run_ranks_checked`] to pick the mode explicitly.
+///
 /// Panics in any rank are propagated (with the rank id) after all threads
 /// are joined, so a failing assertion inside a simulated algorithm fails
 /// the enclosing test.
 pub fn run_ranks<R, F>(p: usize, machine: Machine, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    run_ranks_checked(p, machine, CheckMode::default_mode(), f)
+}
+
+/// [`run_ranks`] with an explicit protocol-checking mode.
+///
+/// Failure reporting gives algorithmic panics precedence: if a rank failed
+/// for a reason other than a protocol violation, that panic (with its rank
+/// id) is re-raised first; otherwise the checker's consolidated
+/// `protocol violation` report is raised.
+pub fn run_ranks_checked<R, F>(p: usize, machine: Machine, mode: CheckMode, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut Rank) -> R + Send + Sync,
@@ -28,9 +47,15 @@ where
         senders.push(tx);
         receivers.push(Some(rx));
     }
-    let world = Arc::new(WorldShared { p, senders });
+    let check = mode.is_on().then(|| Arc::new(CheckShared::new(p)));
+    let world = Arc::new(WorldShared {
+        p,
+        senders,
+        check: check.clone(),
+    });
     let f = &f;
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
 
     crossbeam::thread::scope(|s| {
         let mut handles = Vec::with_capacity(p);
@@ -55,11 +80,31 @@ where
                     .cloned()
                     .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "<non-string panic>".into());
-                panic!("rank {i} panicked: {msg}");
+                failures.push((i, msg));
             }
         }
     })
     .expect("rank scope failed");
+
+    if !failures.is_empty() {
+        // An algorithmic failure outranks the secondary protocol panics it
+        // causes on peer ranks (stall reports, poison wake-ups).
+        if let Some((i, msg)) = failures
+            .iter()
+            .find(|(_, msg)| !msg.contains("protocol violation"))
+        {
+            panic!("rank {i} panicked: {msg}");
+        }
+        if let Some(check) = &check {
+            let violations = check.violations();
+            if !violations.is_empty() {
+                let report: Vec<String> = violations.iter().map(ToString::to_string).collect();
+                panic!("{}", report.join("\n"));
+            }
+        }
+        let (i, msg) = &failures[0];
+        panic!("rank {i} panicked: {msg}");
+    }
 
     results
         .into_iter()
@@ -99,6 +144,21 @@ mod tests {
                 panic!("boom");
             }
             0
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn algorithmic_panic_outranks_secondary_protocol_reports() {
+        // Rank 2 dies mid-run while the others sit in a barrier; the
+        // checker wakes them with a stall report, but the original panic
+        // must be the one the caller sees.
+        run_ranks_checked(4, Machine::knl(), CheckMode::Check, |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 2 {
+                panic!("boom");
+            }
+            rank.barrier(&comm, crate::clock::Step::Other);
         });
     }
 }

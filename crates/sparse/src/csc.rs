@@ -121,6 +121,43 @@ impl<T: Copy> CscMatrix<T> {
         m
     }
 
+    /// Build from raw parts with **no** checks at all, not even in debug
+    /// builds. Exists so the corruption tests of [`crate::validate`] can
+    /// assemble deliberately broken matrices and assert the validator's
+    /// diagnostics; real code wants [`CscMatrix::from_parts`] (validating)
+    /// or [`CscMatrix::from_parts_unchecked`] (debug-verified).
+    pub fn from_parts_raw(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<u32>,
+        vals: Vec<T>,
+        sorted: bool,
+    ) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            vals,
+            sorted,
+        }
+    }
+
+    /// Decompose into `(nrows, ncols, colptr, rowidx, vals, sorted)` —
+    /// the inverse of [`CscMatrix::from_parts_raw`], used by the
+    /// corruption tests to mutate a valid structure in place.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<T>, bool) {
+        (
+            self.nrows,
+            self.ncols,
+            self.colptr,
+            self.rowidx,
+            self.vals,
+            self.sorted,
+        )
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {

@@ -130,6 +130,51 @@ impl<T: Copy> DcscMatrix<T> {
         })
     }
 
+    /// Assemble from raw arrays without validation — the caller vouches
+    /// for the invariants (or runs
+    /// [`crate::validate::Validate::validate`] afterwards, as the
+    /// corruption tests do). Debug builds spot-check array lengths only.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        jc: Vec<u32>,
+        colptr: Vec<usize>,
+        rowidx: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(colptr.len(), jc.len() + 1);
+        debug_assert_eq!(rowidx.len(), vals.len());
+        DcscMatrix {
+            nrows,
+            ncols,
+            jc,
+            colptr,
+            rowidx,
+            vals,
+        }
+    }
+
+    /// Global ids of the non-empty columns (strictly ascending).
+    pub fn jc(&self) -> &[u32] {
+        &self.jc
+    }
+
+    /// Column pointers over the non-empty columns:
+    /// `colptr[k]..colptr[k+1]` indexes column `jc[k]`'s entries.
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// All row indices, column-major over the non-empty columns.
+    pub fn rowidx(&self) -> &[u32] {
+        &self.rowidx
+    }
+
+    /// All values, aligned with [`DcscMatrix::rowidx`].
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
     /// Actual storage bytes of this representation (indices + pointers +
     /// values), for comparing against CSC's `O(ncols)` pointer cost.
     pub fn storage_bytes(&self) -> usize {
@@ -192,17 +237,16 @@ pub fn spgemm_hash_dcsc<S: Semiring>(
         stats.nnz_out += produced as u64;
         stats.work_units += ub as f64 * C_HASH_FLOP + produced as f64 * C_DRAIN;
     }
-    Ok((
-        DcscMatrix {
-            nrows: a.nrows(),
-            ncols: b.ncols(),
-            jc,
-            colptr,
-            rowidx,
-            vals,
-        },
-        stats,
-    ))
+    let c = DcscMatrix {
+        nrows: a.nrows(),
+        ncols: b.ncols(),
+        jc,
+        colptr,
+        rowidx,
+        vals,
+    };
+    crate::debug_validate!(c, crate::Sortedness::Unsorted, "hypersparse hash SpGEMM output");
+    Ok((c, stats))
 }
 
 #[cfg(test)]

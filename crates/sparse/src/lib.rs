@@ -23,6 +23,12 @@
 //!
 //! All kernels report [`WorkStats`] (flops, output nnz, abstract work units)
 //! that the `spgemm-simgrid` cost model converts into modeled time.
+//!
+//! Structural invariants of every format are enforced in debug builds at
+//! kernel boundaries through [`validate`] (see the [`debug_validate!`]
+//! macro and the [`validate::Sortedness`] contract tag).
+
+#![forbid(unsafe_code)]
 
 pub mod csc;
 pub mod dcsc;
@@ -33,12 +39,14 @@ pub mod ops;
 pub mod semiring;
 pub mod spgemm;
 pub mod triples;
+pub mod validate;
 
 pub use csc::CscMatrix;
 pub use dcsc::DcscMatrix;
 pub use semiring::{BoolOrAnd, MaxMinF64, MinPlusF64, PlusTimesF64, PlusTimesI64, PlusTimesU64, Semiring};
 pub use spgemm::{SpGemmWorkspace, WorkStats};
 pub use triples::Triples;
+pub use validate::{Defect, Sortedness, Validate, ValidationError};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]

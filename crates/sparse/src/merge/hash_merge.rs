@@ -62,6 +62,8 @@ fn merge_hash_impl<S: Semiring>(
             work_units: 0.0,
             ..WorkStats::default()
         };
+        let expected = if sort { crate::Sortedness::Sorted } else { crate::Sortedness::Unsorted };
+        crate::debug_validate!(only, expected, "hash-merge output (single part)");
         return Ok((only, stats));
     }
     let allocs_before = ws.total_allocs();
@@ -103,6 +105,8 @@ fn merge_hash_impl<S: Semiring>(
     stats.allocs = ws.total_allocs() - allocs_before;
     stats.peak_scratch_bytes = ws.peak_scratch_bytes();
     stats.memcpy_bytes = copied;
+    let expected = if sort { crate::Sortedness::Sorted } else { crate::Sortedness::Unsorted };
+    crate::debug_validate!(c, expected, "hash-merge output ({} parts)", parts.len());
     Ok((c, stats))
 }
 

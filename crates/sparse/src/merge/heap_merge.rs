@@ -84,7 +84,7 @@ pub fn merge_heap_with_workspace<S: Semiring>(
     stats.allocs = ws.total_allocs() - allocs_before;
     stats.peak_scratch_bytes = ws.peak_scratch_bytes();
     stats.memcpy_bytes = copied;
-    debug_assert!(c.check_sorted());
+    crate::debug_validate!(c, crate::Sortedness::Sorted, "heap-merge output ({} parts)", parts.len());
     Ok((c, stats))
 }
 

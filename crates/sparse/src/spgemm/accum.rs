@@ -26,6 +26,15 @@ pub struct HashAccum<T> {
     fill: T,
 }
 
+impl<T> std::fmt::Debug for HashAccum<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashAccum")
+            .field("capacity", &self.keys.len())
+            .field("occupied", &self.occupied.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Copy> HashAccum<T> {
     /// New accumulator. `fill` initializes value slots (any value works; the
     /// `keys` sentinel is authoritative). Typically `S::zero()`.

@@ -65,6 +65,7 @@ pub fn spgemm_spa<S: Semiring>(
         colptr[j + 1] = rowidx.len();
     }
     let c = CscMatrix::from_parts_unchecked(m, n_out, colptr, rowidx, vals, true);
+    crate::debug_validate!(c, crate::Sortedness::Sorted, "SPA SpGEMM output");
     Ok((c, stats))
 }
 

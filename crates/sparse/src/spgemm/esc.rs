@@ -65,7 +65,7 @@ pub fn spgemm_esc<S: Semiring>(
         colptr[j + 1] = rowidx.len();
     }
     let c = CscMatrix::from_parts_unchecked(a.nrows(), n_out, colptr, rowidx, vals, true);
-    debug_assert!(c.check_sorted());
+    crate::debug_validate!(c, crate::Sortedness::Sorted, "ESC SpGEMM output");
     Ok((c, stats))
 }
 

@@ -86,6 +86,7 @@ pub fn spgemm_hash_unsorted_with_workspace<S: Semiring>(
     stats.allocs = ws.total_allocs() - allocs_before;
     stats.peak_scratch_bytes = ws.peak_scratch_bytes();
     stats.memcpy_bytes = copied;
+    crate::debug_validate!(c, crate::Sortedness::Unsorted, "unsorted-hash SpGEMM output");
     Ok((c, stats))
 }
 

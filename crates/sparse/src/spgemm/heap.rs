@@ -88,6 +88,7 @@ pub fn spgemm_heap<S: Semiring>(
     }
     let c = CscMatrix::from_parts_unchecked(a.nrows(), n_out, colptr, rowidx, vals, true);
     debug_assert!(c.check_sorted());
+    crate::debug_validate!(c, crate::Sortedness::Sorted, "heap SpGEMM output");
     Ok((c, stats))
 }
 

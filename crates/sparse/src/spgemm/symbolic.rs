@@ -39,6 +39,8 @@ pub fn symbolic_col_counts_with_workspace<T: Copy, U: Copy, W: Copy>(
             found: (b.nrows(), b.ncols()),
         });
     }
+    crate::debug_validate!(*a, crate::Sortedness::Unsorted, "symbolic sweep input A");
+    crate::debug_validate!(*b, crate::Sortedness::Unsorted, "symbolic sweep input B");
     let n_out = b.ncols();
     let allocs_before = ws.total_allocs();
     let mut counts = vec![0u64; n_out];

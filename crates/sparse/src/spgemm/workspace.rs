@@ -66,6 +66,14 @@ pub struct SpGemmWorkspace<T: Copy> {
     peak_scratch: u64,
 }
 
+impl<T: Copy> std::fmt::Debug for SpGemmWorkspace<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpGemmWorkspace")
+            .field("scratch_bytes", &self.scratch_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Copy> Default for SpGemmWorkspace<T> {
     fn default() -> Self {
         Self::new()

@@ -43,6 +43,31 @@ impl<T: Copy> Triples<T> {
         }
     }
 
+    /// Assemble from parallel coordinate arrays without bounds checks —
+    /// the caller vouches for them (or runs
+    /// [`crate::validate::Validate::validate`] afterwards, as the
+    /// corruption tests do).
+    ///
+    /// # Panics
+    /// If the three arrays differ in length.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len(), "rows/cols length mismatch");
+        assert_eq!(rows.len(), vals.len(), "rows/vals length mismatch");
+        Triples {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
+    }
+
     /// Append one entry. Panics (debug) on out-of-bounds coordinates.
     #[inline]
     pub fn push(&mut self, row: u32, col: u32, val: T) {

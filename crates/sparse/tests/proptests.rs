@@ -126,7 +126,7 @@ proptest! {
             prop_assert!(p.col_nnz(j) <= k);
             prop_assert!(p.col_nnz(j) == f.col_nnz(j).min(k));
             // Every kept value is >= every dropped value.
-            let kept_min = p.col(j).1.iter().cloned().fold(f64::INFINITY, f64::min);
+            let kept_min = p.col(j).1.iter().copied().fold(f64::INFINITY, f64::min);
             let kept: std::collections::HashSet<u32> = p.col(j).0.iter().copied().collect();
             for (&r, &v) in f.col(j).0.iter().zip(f.col(j).1.iter()) {
                 if !kept.contains(&r) {
