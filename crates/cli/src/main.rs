@@ -4,15 +4,23 @@
 //! spgemm gen      --kind er|rmat|clusters|kmer --out M.mtx [shape options]
 //! spgemm info     --input M.mtx [--square | --aat]
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
-//!                 [--layers L] [--batches B | --budget-mb M]
+//!                 [--layers L | --auto] [--batches B | --budget-mb M]
 //!                 [--kernels new|previous] [--machine knl|haswell|knl-mini|knl-ht]
+//!                 [--profile PROFILE.json] [--calibrate-out PROFILE.json]
 //!                 [--batching cyclic|block|balanced] [--overlap] [--check]
 //!                 [--trace T.json] [--out C.mtx] [--verify]
+//! spgemm plan     --a M.mtx [--b N.mtx | --square | --aat] --procs P
+//!                 [--budget-mb M] [--machine NAME | --profile PROFILE.json]
+//!                 [--sample F] [--seed S]
 //! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
 //!                 [--select K] [--budget-mb M]
 //! spgemm triangles --input M.mtx --procs P [--layers L]
 //! spgemm overlap  --input M.mtx --procs P [--layers L] [--min-shared S]
 //! ```
+//!
+//! `plan` prints the planner's ranked candidate report and runs nothing;
+//! `multiply --auto` plans and then runs the winner. `--profile` loads
+//! calibrated machine constants written by `--calibrate-out`.
 
 #![forbid(unsafe_code)]
 
@@ -23,7 +31,8 @@ use spgemm_apps::mcl::{markov_cluster, MclParams};
 use spgemm_apps::overlap::{find_overlaps, OverlapConfig};
 use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
-use spgemm_core::{run_spgemm, KernelStrategy, MemoryBudget, OverlapMode, RunConfig};
+use spgemm_core::planner::{self, CalibrationInput, MachineProfile, PlannerConfig, ProbeConfig};
+use spgemm_core::{run_spgemm, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode, RunConfig};
 use spgemm_simgrid::CheckMode;
 use spgemm_simgrid::{Machine, StepReport};
 use spgemm_sparse::gen::{clustered_similarity, er_random, kmer_matrix, rmat};
@@ -41,7 +50,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("run with a subcommand: gen | info | multiply | mcl | triangles | overlap");
+            eprintln!(
+                "run with a subcommand: gen | info | multiply | plan | mcl | triangles | overlap"
+            );
             ExitCode::FAILURE
         }
     }
@@ -52,6 +63,7 @@ fn run(args: &Args) -> Result<(), String> {
         "gen" => cmd_gen(args),
         "info" => cmd_info(args),
         "multiply" => cmd_multiply(args),
+        "plan" => cmd_plan(args),
         "mcl" => cmd_mcl(args),
         "triangles" => cmd_triangles(args),
         "overlap" => cmd_overlap(args),
@@ -66,6 +78,18 @@ fn machine_by_name(name: &str) -> Result<Machine, String> {
         "knl-mini" => Ok(Machine::knl_mini()),
         "knl-ht" => Ok(Machine::knl_hyperthreaded()),
         other => Err(format!("unknown machine preset: {other}")),
+    }
+}
+
+/// Resolve the cost-model machine: `--profile FILE` (calibrated
+/// constants) wins over `--machine NAME` (preset).
+fn machine_from_args(args: &Args) -> Result<Machine, String> {
+    if let Some(path) = args.opt("profile") {
+        let profile = MachineProfile::load(Path::new(path)).map_err(|e| e.to_string())?;
+        println!("loaded machine profile from {path} ({})", profile.source);
+        Ok(profile.to_machine())
+    } else {
+        machine_by_name(args.opt("machine").unwrap_or("knl"))
     }
 }
 
@@ -158,9 +182,11 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn cmd_multiply(args: &Args) -> Result<(), String> {
     let (a, b) = operands(args, "a")?;
     let p = args.get_or("procs", 16usize)?;
-    let layers = args.get_or("layers", 1usize)?;
-    let mut cfg = RunConfig::new(p, layers);
-    cfg.machine = machine_by_name(args.opt("machine").unwrap_or("knl"))?;
+    let mut cfg = RunConfig::new(p, args.get_or("layers", 1usize)?);
+    if args.flag("auto") {
+        cfg.layers = LayerChoice::Auto;
+    }
+    cfg.machine = machine_from_args(args)?;
     cfg.kernels = kernels_by_name(args.opt("kernels").unwrap_or("new"))?;
     cfg.batching = match args.opt("batching").unwrap_or("cyclic") {
         "cyclic" => BatchingStrategy::BlockCyclic,
@@ -184,6 +210,10 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         cfg.trace = true;
     }
     let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).map_err(|e| e.to_string())?;
+    let layers = out.layers;
+    if let Some(plan) = &out.plan {
+        println!("auto layer choice:\n{}", plan.to_table());
+    }
     if let (Some(path), Some(traces)) = (args.opt("trace"), &out.traces) {
         let json = spgemm_simgrid::chrome_trace_json(traces);
         std::fs::write(path, json).map_err(|e| e.to_string())?;
@@ -221,6 +251,45 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         write_matrix_market_file(c, Path::new(path)).map_err(|e| e.to_string())?;
         println!("wrote product to {path}");
     }
+    if let Some(path) = args.opt("calibrate-out") {
+        let input = CalibrationInput {
+            p,
+            layers,
+            per_rank: &out.per_rank,
+            total_work_units: Some(out.kernel_stats.work_units),
+        };
+        let profile = planner::calibrate(&cfg.machine, &input);
+        profile
+            .save(Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote calibrated machine profile to {path} (alpha {:.3e}, beta {:.3e}, \
+             secs/work-unit {:.3e})",
+            profile.alpha, profile.beta, profile.secs_per_work_unit
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let (a, b) = operands(args, "a")?;
+    let p = args.get_or("procs", 16usize)?;
+    let machine = machine_from_args(args)?;
+    let budget = match args.opt("budget-mb") {
+        Some(mb) => {
+            let mb: f64 = mb.parse().map_err(|_| "bad --budget-mb")?;
+            MemoryBudget::new((mb * 1e6) as usize)
+        }
+        None => MemoryBudget::unlimited(),
+    };
+    let mut pcfg = PlannerConfig::new(machine, budget);
+    pcfg.probe = ProbeConfig {
+        sample_fraction: args.get_or("sample", 0.25f64)?,
+        seed: args.get_or("seed", ProbeConfig::default().seed)?,
+        ..ProbeConfig::default()
+    };
+    let report = planner::plan(p, &a, &b, &pcfg).map_err(|e| e.to_string())?;
+    print!("{}", report.to_table());
     Ok(())
 }
 

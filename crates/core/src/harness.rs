@@ -10,19 +10,32 @@ use crate::summa2d::{MergeSchedule, OverlapMode};
 use crate::dist::{gather_pieces, scatter, transpose_to_bstyle, DistKind};
 use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
+use crate::model::validate_grid;
+use crate::planner::{self, PlanReport, PlannerConfig};
 use crate::symbolic::SymbolicOutcome;
 use crate::{CoreError, Result};
 use spgemm_simgrid::{max_breakdown, run_ranks_checked, CheckMode, Grid3D, Machine, StepBreakdown};
 use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
 
+/// How the grid layer count `l` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerChoice {
+    /// Use exactly this layer count (validated: `l | p`, `p/l` square).
+    Fixed(usize),
+    /// Let the planner pick: probe the operands, predict every valid `l`
+    /// under the run's machine/budget/kernels/overlap, run the winner.
+    /// The ranked [`PlanReport`] is recorded in [`RunOutput::plan`].
+    Auto,
+}
+
 /// Full configuration of a simulated distributed SpGEMM run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Number of simulated processes.
     pub p: usize,
-    /// Number of grid layers `l` (1 = plain 2D SUMMA behaviour).
-    pub layers: usize,
+    /// Grid layer choice (`Fixed(1)` = plain 2D SUMMA behaviour).
+    pub layers: LayerChoice,
     /// Machine cost model.
     pub machine: Machine,
     /// Local kernel generation.
@@ -58,7 +71,7 @@ impl RunConfig {
     pub fn new(p: usize, layers: usize) -> Self {
         RunConfig {
             p,
-            layers,
+            layers: LayerChoice::Fixed(layers),
             machine: Machine::knl(),
             kernels: KernelStrategy::New,
             batching: BatchingStrategy::BlockCyclic,
@@ -69,6 +82,46 @@ impl RunConfig {
             merge_schedule: MergeSchedule::AfterAllStages,
             overlap: OverlapMode::Blocking,
             check: CheckMode::default_mode(),
+        }
+    }
+
+    /// Defaults with planner-chosen layers ([`LayerChoice::Auto`]).
+    pub fn auto(p: usize) -> Self {
+        let mut cfg = RunConfig::new(p, 1);
+        cfg.layers = LayerChoice::Auto;
+        cfg
+    }
+}
+
+/// Resolve [`RunConfig::layers`] to a concrete, validated layer count.
+///
+/// `Fixed(l)` is validated against `p` (rejecting the degenerate grids
+/// `Grid3D::new` would otherwise panic on); `Auto` runs the planner on
+/// the operands and returns the winner plus the full ranked report.
+fn resolve_layers<T: Copy, U: Copy>(
+    cfg: &RunConfig,
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+) -> Result<(usize, Option<PlanReport>)> {
+    match cfg.layers {
+        LayerChoice::Fixed(l) => {
+            validate_grid(cfg.p, l)?;
+            Ok((l, None))
+        }
+        LayerChoice::Auto => {
+            let pcfg = PlannerConfig::for_run(cfg);
+            let report = planner::plan(cfg.p, a, b, &pcfg)?;
+            let layers = report
+                .winner()
+                .map(|w| w.candidate.layers)
+                .ok_or_else(|| {
+                    CoreError::Config(format!(
+                        "auto layer choice: no feasible configuration for p={} under the \
+                         memory budget",
+                        cfg.p
+                    ))
+                })?;
+            Ok((layers, Some(report)))
         }
     }
 }
@@ -85,6 +138,11 @@ pub struct RunOutput<T: Copy> {
     pub max: StepBreakdown,
     /// Number of batches executed.
     pub nbatches: usize,
+    /// The layer count actually used (resolved from [`LayerChoice`]).
+    pub layers: usize,
+    /// The planner's ranked report when layers were chosen automatically
+    /// ([`LayerChoice::Auto`]); `None` for fixed layer counts.
+    pub plan: Option<PlanReport>,
     /// Symbolic outcome (absent when the batch count was forced).
     pub symbolic: Option<SymbolicOutcome>,
     /// Per-rank peak modeled bytes.
@@ -127,6 +185,7 @@ pub fn run_spgemm<S: Semiring>(
             b.ncols()
         )));
     }
+    let (layers, plan) = resolve_layers(cfg, a, b)?;
     let a_arc = Arc::new(a.clone());
     let b_arc = Arc::new(b.clone());
     let (m, n) = (a.nrows(), b.ncols());
@@ -136,7 +195,7 @@ pub fn run_spgemm<S: Semiring>(
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }
-        let grid = Grid3D::new(rank, cfg_copy.layers);
+        let grid = Grid3D::new(rank, layers);
         let da = scatter(
             rank,
             &grid,
@@ -181,7 +240,7 @@ pub fn run_spgemm<S: Semiring>(
         })
     });
 
-    collect_outputs(cfg, results)
+    collect_outputs(cfg, layers, plan, results)
 }
 
 /// Compute `A·Aᵀ` on the simulated cluster: `A` is scattered once and
@@ -192,6 +251,15 @@ pub fn run_spgemm_aat<S: Semiring>(
     cfg: &RunConfig,
     a: &CscMatrix<S::T>,
 ) -> Result<RunOutput<S::T>> {
+    // Auto layers need the global Bᵀ structure for planning; a fixed
+    // layer count never materializes the transpose.
+    let (layers, plan) = match cfg.layers {
+        LayerChoice::Fixed(_) => resolve_layers(cfg, a, a)?,
+        LayerChoice::Auto => {
+            let at = spgemm_sparse::ops::transpose(a);
+            resolve_layers(cfg, a, &at)?
+        }
+    };
     let a_arc = Arc::new(a.clone());
     let (m, n) = (a.nrows(), a.nrows());
     let cfg_copy = *cfg;
@@ -200,7 +268,7 @@ pub fn run_spgemm_aat<S: Semiring>(
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }
-        let grid = Grid3D::new(rank, cfg_copy.layers);
+        let grid = Grid3D::new(rank, layers);
         let da = scatter(
             rank,
             &grid,
@@ -240,7 +308,7 @@ pub fn run_spgemm_aat<S: Semiring>(
         })
     });
 
-    collect_outputs(cfg, results)
+    collect_outputs(cfg, layers, plan, results)
 }
 
 /// Multiply with **row-wise batching**: batches select rows of `C` (and
@@ -264,6 +332,8 @@ pub fn run_spgemm_row_batched<S: Semiring>(
 
 fn collect_outputs<T: Copy>(
     cfg: &RunConfig,
+    layers: usize,
+    plan: Option<PlanReport>,
     results: Vec<Result<PerRank<T>>>,
 ) -> Result<RunOutput<T>> {
     let mut per_rank = Vec::with_capacity(cfg.p);
@@ -293,6 +363,8 @@ fn collect_outputs<T: Copy>(
         per_rank,
         max,
         nbatches,
+        layers,
+        plan,
         symbolic,
         peak_bytes: peaks,
         traces,
@@ -417,6 +489,36 @@ mod tests {
             run_spgemm::<PlusTimesF64>(&cfg, &a, &b),
             Err(CoreError::Config(_))
         ));
+    }
+
+    #[test]
+    fn fixed_degenerate_grid_is_config_error_naming_pair() {
+        let a = er_random::<PlusTimesF64>(16, 16, 2, 77);
+        for l in [3usize, 2] {
+            let cfg = RunConfig::new(16, l); // 3 ∤ 16; 16/2 = 8 not square
+            let err = run_spgemm::<PlusTimesF64>(&cfg, &a, &a).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("p=16") && msg.contains(&format!("l={l}")), "{msg}");
+        }
+    }
+
+    #[test]
+    fn auto_layers_runs_winner_and_records_plan() {
+        let a = er_random::<PlusTimesF64>(48, 48, 4, 78);
+        let b = er_random::<PlusTimesF64>(48, 48, 4, 79);
+        let cfg = RunConfig::auto(16);
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap();
+        let plan = out.plan.as_ref().expect("auto records the plan");
+        let winner = plan.winner().expect("unlimited budget is feasible");
+        assert_eq!(out.layers, winner.candidate.layers);
+        assert!([1usize, 4, 16].contains(&out.layers));
+        // Result matches a fixed-layer run.
+        let fixed = run_spgemm::<PlusTimesF64>(&RunConfig::new(16, out.layers), &a, &b).unwrap();
+        assert!(out.c.unwrap().eq_modulo_order(&fixed.c.unwrap()));
+        assert!(fixed.plan.is_none());
+        // A·Aᵀ auto planning works too (plans on the on-the-fly transpose).
+        let aat = run_spgemm_aat::<PlusTimesF64>(&RunConfig::auto(16), &a).unwrap();
+        assert!(aat.plan.is_some());
     }
 
     #[test]

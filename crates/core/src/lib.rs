@@ -33,15 +33,19 @@ pub mod harness;
 pub mod kernels;
 pub mod memory;
 pub mod model;
+pub mod planner;
 pub mod summa2d;
 pub mod summa3d;
 pub mod symbolic;
 
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
-pub use harness::{run_spgemm, run_spgemm_aat, run_spgemm_row_batched, RunConfig, RunOutput};
+pub use harness::{
+    run_spgemm, run_spgemm_aat, run_spgemm_row_batched, LayerChoice, RunConfig, RunOutput,
+};
 pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};
+pub use planner::{MachineProfile, PlanReport, PlannerConfig, ProbeConfig};
 pub use summa2d::{MergeSchedule, OverlapMode};
 pub use symbolic::{symbolic3d, SymbolicOutcome};
 

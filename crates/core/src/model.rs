@@ -11,7 +11,38 @@
 //!   (up to `p = 16384` processes / 262,144 cores), where simulating every
 //!   rank is impractical but the model still tells the Table II story.
 
+use crate::CoreError;
+use spgemm_simgrid::grid::layer_side;
 use spgemm_simgrid::Machine;
+
+/// Validate that `(p, l)` forms a 3D grid with square layers; returns the
+/// layer side `√(p/l)` on success.
+///
+/// The grid math silently truncates otherwise — `√(p/l)` is irrational when
+/// `p/l` is not a perfect square, and `p/l` itself rounds down when `l ∤ p`
+/// — so every entry point that accepts `(p, l)` funnels through this check
+/// and reports the offending pair instead.
+pub fn validate_grid(p: usize, l: usize) -> crate::Result<usize> {
+    if p == 0 {
+        return Err(CoreError::Config("process count p=0 is not a grid".into()));
+    }
+    if l == 0 {
+        return Err(CoreError::Config(format!(
+            "invalid 3D grid (p={p}, l=0): the layer count must be at least 1"
+        )));
+    }
+    if !p.is_multiple_of(l) {
+        return Err(CoreError::Config(format!(
+            "invalid 3D grid (p={p}, l={l}): the layer count must divide the process count"
+        )));
+    }
+    layer_side(p, l).ok_or_else(|| {
+        CoreError::Config(format!(
+            "invalid 3D grid (p={p}, l={l}): p/l = {} is not a perfect square",
+            p / l
+        ))
+    })
+}
 
 /// Problem and grid parameters for the closed-form model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +80,42 @@ impl StepCost {
 }
 
 impl ProblemModel {
+    /// Validated constructor: rejects degenerate `(p, l)` pairs (see
+    /// [`validate_grid`]) instead of letting `sqrt_pl` silently truncate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nnz_a: u64,
+        nnz_b: u64,
+        flops: u64,
+        p: usize,
+        l: usize,
+        b: usize,
+        r: usize,
+    ) -> crate::Result<ProblemModel> {
+        let pm = ProblemModel {
+            nnz_a,
+            nnz_b,
+            flops,
+            p,
+            l,
+            b,
+            r,
+        };
+        pm.validate()?;
+        Ok(pm)
+    }
+
+    /// Check this model's grid and batch parameters; struct-literal
+    /// construction remains possible for tests, so call this before
+    /// trusting `sqrt_pl`-derived quantities on externally supplied values.
+    pub fn validate(&self) -> crate::Result<()> {
+        validate_grid(self.p, self.l)?;
+        if self.b == 0 {
+            return Err(CoreError::Config("batch count b=0 (must be at least 1)".into()));
+        }
+        Ok(())
+    }
+
     fn sqrt_pl(&self) -> f64 {
         ((self.p / self.l) as f64).sqrt()
     }
@@ -327,5 +394,58 @@ mod tests {
         let s = base().table2_rows(&Machine::knl());
         assert!(s.contains("A-Bcast"));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    fn config_msg(err: crate::CoreError) -> String {
+        match err {
+            crate::CoreError::Config(msg) => msg,
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_layers_rejected_naming_pair() {
+        let msg = config_msg(validate_grid(16, 0).unwrap_err());
+        assert!(msg.contains("p=16") && msg.contains("l=0"), "{msg}");
+    }
+
+    #[test]
+    fn non_dividing_layers_rejected_naming_pair() {
+        // l = 3 does not divide p = 16; p/l would truncate to 5.
+        let msg = config_msg(validate_grid(16, 3).unwrap_err());
+        assert!(msg.contains("p=16") && msg.contains("l=3"), "{msg}");
+        assert!(msg.contains("divide"), "{msg}");
+    }
+
+    #[test]
+    fn non_square_layers_rejected_naming_pair() {
+        // l = 2 divides p = 16 but 16/2 = 8 is not a perfect square;
+        // sqrt_pl would silently truncate to 2.828... downstream.
+        let msg = config_msg(validate_grid(16, 2).unwrap_err());
+        assert!(msg.contains("p=16") && msg.contains("l=2"), "{msg}");
+        assert!(msg.contains("perfect square"), "{msg}");
+    }
+
+    #[test]
+    fn valid_grids_accepted_with_side() {
+        assert_eq!(validate_grid(16, 1).unwrap(), 4);
+        assert_eq!(validate_grid(16, 4).unwrap(), 2);
+        assert_eq!(validate_grid(16, 16).unwrap(), 1);
+        assert_eq!(validate_grid(12, 3).unwrap(), 2);
+    }
+
+    #[test]
+    fn problem_model_constructor_validates() {
+        assert!(ProblemModel::new(10, 10, 100, 16, 4, 2, 24).is_ok());
+        assert!(matches!(
+            ProblemModel::new(10, 10, 100, 16, 2, 2, 24),
+            Err(crate::CoreError::Config(_))
+        ));
+        assert!(matches!(
+            ProblemModel::new(10, 10, 100, 16, 4, 0, 24),
+            Err(crate::CoreError::Config(_))
+        ));
+        // Struct-literal models used by older tests still validate.
+        assert!(base().validate().is_ok());
     }
 }

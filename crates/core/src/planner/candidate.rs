@@ -1,0 +1,140 @@
+//! Candidate enumeration: the planner's search space.
+//!
+//! A candidate fixes everything the user would otherwise hand-pick —
+//! layer count `l`, kernel generation, and overlap mode. The batch count
+//! `b` is *not* part of the candidate: it is derived per candidate from
+//! the memory budget (Alg. 3 / Eq. 2 applied to the probe's estimates),
+//! mirroring how a real run derives it from Symbolic3D.
+
+use crate::kernels::KernelStrategy;
+use crate::model::validate_grid;
+use crate::summa2d::OverlapMode;
+use crate::Result;
+use spgemm_simgrid::grid::valid_layer_counts;
+
+/// One point of the planner's search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Grid layer count `l` (`l | p`, `p/l` a perfect square).
+    pub layers: usize,
+    /// Local kernel generation.
+    pub kernels: KernelStrategy,
+    /// Blocking or pipelined broadcasts.
+    pub overlap: OverlapMode,
+}
+
+impl Candidate {
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "l={} {} {}",
+            self.layers,
+            match self.kernels {
+                KernelStrategy::New => "new",
+                KernelStrategy::Previous => "prev",
+            },
+            match self.overlap {
+                OverlapMode::Blocking => "blocking",
+                OverlapMode::Overlapped => "overlapped",
+            }
+        )
+    }
+}
+
+/// Enumerate `layers × kernels × overlaps`.
+///
+/// With `layers = None` every feasible layer count of `p` is tried (all
+/// `l` with `l | p` and `p/l` a perfect square — never empty, since
+/// `l = p` always qualifies). Explicitly requested layer counts are
+/// validated and rejected with an error naming the offending `(p, l)`.
+pub fn enumerate_candidates(
+    p: usize,
+    layers: Option<&[usize]>,
+    kernels: &[KernelStrategy],
+    overlaps: &[OverlapMode],
+) -> Result<Vec<Candidate>> {
+    let ls: Vec<usize> = match layers {
+        Some(requested) => {
+            let mut ls = Vec::new();
+            for &l in requested {
+                validate_grid(p, l)?;
+                if !ls.contains(&l) {
+                    ls.push(l);
+                }
+            }
+            ls
+        }
+        None => valid_layer_counts(p),
+    };
+    let mut out = Vec::with_capacity(ls.len() * kernels.len() * overlaps.len());
+    for &l in &ls {
+        for &k in kernels {
+            for &o in overlaps {
+                let c = Candidate {
+                    layers: l,
+                    kernels: k,
+                    overlap: o,
+                };
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_valid_layer_counts() {
+        let cs = enumerate_candidates(
+            64,
+            None,
+            &[KernelStrategy::New],
+            &[OverlapMode::Blocking],
+        )
+        .unwrap();
+        let ls: Vec<usize> = cs.iter().map(|c| c.layers).collect();
+        assert_eq!(ls, vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn cross_product_over_kernels_and_overlap() {
+        let cs = enumerate_candidates(
+            16,
+            Some(&[1, 4]),
+            &[KernelStrategy::New, KernelStrategy::Previous],
+            &[OverlapMode::Blocking, OverlapMode::Overlapped],
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn bad_explicit_layer_count_names_pair() {
+        let err = enumerate_candidates(
+            16,
+            Some(&[2]),
+            &[KernelStrategy::New],
+            &[OverlapMode::Blocking],
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("p=16") && msg.contains("l=2"), "{msg}");
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let cs = enumerate_candidates(
+            16,
+            Some(&[4, 4]),
+            &[KernelStrategy::New, KernelStrategy::New],
+            &[OverlapMode::Blocking],
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 1);
+    }
+}

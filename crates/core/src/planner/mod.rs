@@ -1,0 +1,246 @@
+//! Cost-model-driven autotuner: pick layers, batches, overlap, and
+//! kernels before the run.
+//!
+//! The paper answers "given `p` processes and memory budget `M`, how many
+//! layers `l` and batches `b`?" only by exhaustive sweeps (Figs. 4–5).
+//! This module answers it analytically, in four moves:
+//!
+//! 1. **Enumerate** ([`candidate`]) every feasible grid — all `l` with
+//!    `l | p` and `p/l` a perfect square — crossed with kernel generation
+//!    and overlap mode.
+//! 2. **Probe** ([`probe`]) the operands once with a cheap sampled
+//!    structure-only symbolic pass (no full Symbolic3D): per-column flop
+//!    and output-row counts, scaled estimates of `flops` and `nnz(C)`.
+//! 3. **Predict** ([`predict`]) each candidate's makespan with the same
+//!    α–β and work-unit formulas the simulator charges, deriving the
+//!    Alg. 3 / Eq. 2 batch count from the budget and subtracting the
+//!    broadcast time hideable under multiply in overlapped mode.
+//! 4. **Report** ([`report`]) the ranked candidates: the argmin, each
+//!    candidate's latency/bandwidth/compute split, the constraint that
+//!    bound it, and why losers lost.
+//!
+//! [`calibrate`] closes the predict → measure → refit loop: it fits
+//! effective α/β/flop-rate constants from one measured run's step
+//! breakdowns and persists them as a machine-profile JSON later plans
+//! can load.
+
+pub mod calibrate;
+pub mod candidate;
+pub mod predict;
+pub mod probe;
+pub mod report;
+
+pub use calibrate::{calibrate, CalibrationInput, MachineProfile};
+pub use candidate::{enumerate_candidates, Candidate};
+pub use predict::{
+    grid_shape, occ, BindingConstraint, CandidatePrediction, GridShape, PredictedSteps,
+};
+pub use probe::{probe, ProbeConfig, ProbeEstimate};
+pub use report::PlanReport;
+
+use crate::harness::RunConfig;
+use crate::kernels::KernelStrategy;
+use crate::memory::MemoryBudget;
+use crate::model::validate_grid;
+use crate::summa2d::OverlapMode;
+use crate::{CoreError, Result};
+use spgemm_simgrid::Machine;
+use spgemm_sparse::CscMatrix;
+
+/// Everything the planner needs besides the operands.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Machine cost model predictions are made against.
+    pub machine: Machine,
+    /// Aggregate memory budget (drives the batch count per candidate).
+    pub budget: MemoryBudget,
+    /// Probe sampling parameters.
+    pub probe: ProbeConfig,
+    /// Restrict the layer search (`None` = every valid `l` for `p`).
+    pub layers: Option<Vec<usize>>,
+    /// Kernel generations to consider.
+    pub kernels: Vec<KernelStrategy>,
+    /// Overlap modes to consider.
+    pub overlaps: Vec<OverlapMode>,
+    /// Charge the Symbolic3D pass a real run would perform (disable when
+    /// comparing against sweeps that force the batch count).
+    pub include_symbolic: bool,
+}
+
+impl PlannerConfig {
+    /// Full search space over kernels and overlap modes.
+    pub fn new(machine: Machine, budget: MemoryBudget) -> Self {
+        PlannerConfig {
+            machine,
+            budget,
+            probe: ProbeConfig::default(),
+            layers: None,
+            kernels: vec![KernelStrategy::New, KernelStrategy::Previous],
+            overlaps: vec![OverlapMode::Blocking, OverlapMode::Overlapped],
+            include_symbolic: true,
+        }
+    }
+
+    /// Plan *for a run configuration*: the kernel and overlap choices are
+    /// taken from `cfg` (only the grid is searched), so `Auto` layer
+    /// resolution never second-guesses explicit user choices.
+    pub fn for_run(cfg: &RunConfig) -> Self {
+        PlannerConfig {
+            machine: cfg.machine,
+            budget: cfg.budget,
+            probe: ProbeConfig::default(),
+            layers: None,
+            kernels: vec![cfg.kernels],
+            overlaps: vec![cfg.overlap],
+            include_symbolic: cfg.forced_batches.is_none(),
+        }
+    }
+}
+
+/// Plan `A · B` on `p` processes: probe once, predict every candidate,
+/// rank them.
+///
+/// Structure-only and value-type-agnostic (like the probe): `A` and `B`
+/// may hold different scalar types.
+pub fn plan<T: Copy, U: Copy>(
+    p: usize,
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+    cfg: &PlannerConfig,
+) -> Result<PlanReport> {
+    if a.ncols() != b.nrows() {
+        return Err(CoreError::Config(format!(
+            "plan: inner dimensions differ: A is {}x{}, B is {}x{}",
+            a.nrows(),
+            a.ncols(),
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+    let candidates = enumerate_candidates(
+        p,
+        cfg.layers.as_deref(),
+        &cfg.kernels,
+        &cfg.overlaps,
+    )?;
+    let est = probe(a, b, &cfg.probe)?;
+
+    // One exact placement scan per distinct layer count.
+    let mut shapes: Vec<(usize, GridShape)> = Vec::new();
+    for c in &candidates {
+        if !shapes.iter().any(|(l, _)| *l == c.layers) {
+            let side = validate_grid(p, c.layers)?;
+            shapes.push((c.layers, grid_shape(a, b, side, c.layers)));
+        }
+    }
+    let mut ranked: Vec<CandidatePrediction> = candidates
+        .iter()
+        .map(|&c| {
+            let shape = &shapes.iter().find(|(l, _)| *l == c.layers).unwrap().1;
+            predict::predict_candidate(
+                p,
+                shape,
+                &est,
+                &cfg.machine,
+                &cfg.budget,
+                cfg.include_symbolic,
+                c,
+            )
+        })
+        .collect();
+    // Feasible first, ascending predicted makespan; infeasible last.
+    ranked.sort_by(|x, y| {
+        y.feasible()
+            .cmp(&x.feasible())
+            .then(x.total_s.partial_cmp(&y.total_s).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(PlanReport {
+        p,
+        machine_name: cfg.machine.name.to_string(),
+        probe_sampled: !est.is_exact(),
+        probe_cols: est.cols.len(),
+        probe_total_cols: est.total_cols,
+        probe_flops: est.flops,
+        probe_nnz_c: est.nnz_c,
+        ranked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesF64;
+
+    fn operands() -> (CscMatrix<f64>, CscMatrix<f64>) {
+        (
+            er_random::<PlusTimesF64>(128, 128, 8, 31),
+            er_random::<PlusTimesF64>(128, 128, 8, 32),
+        )
+    }
+
+    #[test]
+    fn plan_ranks_all_candidates_and_picks_a_winner() {
+        let (a, b) = operands();
+        let cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::unlimited());
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        // layers {1, 4, 16} × 2 kernels × 2 overlaps
+        assert_eq!(rep.ranked.len(), 12);
+        let w = rep.winner().expect("unlimited budget must be feasible");
+        assert!(w.total_s.is_finite() && w.total_s > 0.0);
+        assert!(w.batches >= 1);
+        // Ranked ascending among feasible candidates.
+        for pair in rep.ranked.windows(2) {
+            if pair[0].feasible() && pair[1].feasible() {
+                assert!(pair[0].total_s <= pair[1].total_s);
+            }
+        }
+        assert!(rep.to_table().contains("winner:"));
+    }
+
+    #[test]
+    fn tight_budget_forces_batches_or_infeasibility() {
+        let (a, b) = operands();
+        let inputs = (a.nnz() + b.nnz()) * 24;
+        let mut cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::new(inputs * 3));
+        cfg.probe = ProbeConfig::exact();
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        let w = rep.winner().expect("3x-inputs budget should be plannable");
+        assert!(
+            w.batches > 1,
+            "tight budget should force batching, got b={}",
+            w.batches
+        );
+        assert!(w.peak_bytes_per_proc <= cfg.budget.per_process(16));
+    }
+
+    #[test]
+    fn impossible_budget_yields_no_winner() {
+        let (a, b) = operands();
+        let cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::new(1024));
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        assert!(rep.winner().is_none());
+        assert!(rep.ranked.iter().all(|c| !c.feasible()));
+    }
+
+    #[test]
+    fn for_run_restricts_kernels_and_overlap() {
+        let mut rc = RunConfig::new(16, 1);
+        rc.kernels = KernelStrategy::Previous;
+        rc.overlap = OverlapMode::Overlapped;
+        let cfg = PlannerConfig::for_run(&rc);
+        assert_eq!(cfg.kernels, vec![KernelStrategy::Previous]);
+        assert_eq!(cfg.overlaps, vec![OverlapMode::Overlapped]);
+        let (a, b) = operands();
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        assert_eq!(rep.ranked.len(), 3); // layers {1, 4, 16} only
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = er_random::<PlusTimesF64>(10, 12, 2, 1);
+        let b = er_random::<PlusTimesF64>(10, 10, 2, 2);
+        let cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::unlimited());
+        assert!(plan(4, &a, &b, &cfg).is_err());
+    }
+}

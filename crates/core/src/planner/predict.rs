@@ -1,0 +1,587 @@
+//! Overlap-aware makespan prediction for one candidate configuration.
+//!
+//! The predictor deliberately mirrors the *simulator's* accounting, not the
+//! paper's closed-form Table II upper bounds: it calls the same
+//! [`Machine`] α–β formulas the collectives charge and the same kernel
+//! work-unit constants the local kernels report, so a predicted makespan is
+//! directly comparable to `RunOutput::max.total()` and the planner's regret
+//! against an exhaustive sweep stays small.
+//!
+//! Three models compose:
+//!
+//! * **Placement** — exact per-process input nonzero counts under the
+//!   Fig. 1 distribution for each candidate `l` ([`GridShape`]), computed
+//!   by bucketing every nonzero with [`block_index`] (the inverse of
+//!   `block_range`).
+//! * **Compression** — a balls-into-bins occupancy estimate
+//!   `occ(balls, bins) = bins·(1 − e^(−balls/bins))` turns each probed
+//!   column's flop count `fⱼ` and distinct-row count `dⱼ` into expected
+//!   unmerged / layer-merged intermediate sizes at any `(√(p/l), l)` split.
+//! * **Overlap** — under [`OverlapMode::Overlapped`], every stage's
+//!   broadcast except the first hides under the previous stage's multiply;
+//!   the hideable time `（b·√(p/l) − 1)·min(c_stage, m_stage)` is
+//!   subtracted from the blocking makespan, mirroring the simulator's
+//!   pipelined double-buffering.
+
+use super::candidate::Candidate;
+use super::probe::ProbeEstimate;
+use crate::kernels::KernelStrategy;
+use crate::memory::MemoryBudget;
+use crate::summa2d::OverlapMode;
+use spgemm_simgrid::Machine;
+use spgemm_sparse::spgemm::{
+    C_DRAIN, C_HASH_FLOP, C_HEAP_FLOP, C_MERGE_HASH, C_MERGE_HEAP, C_SORT,
+};
+use spgemm_sparse::CscMatrix;
+
+/// Streams-per-column threshold of the hybrid kernel's heap path (kept in
+/// sync with `spgemm-sparse`'s `HEAP_STREAMS_MAX`).
+const HEAP_STREAMS_MAX: f64 = 4.0;
+
+fn lg(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Index of the `block_range(n, parts, ·)` block containing `x` — the
+/// inverse of `spgemm_sparse::ops::block_range`.
+pub fn block_index(n: usize, parts: usize, x: usize) -> usize {
+    debug_assert!(x < n);
+    let base = n / parts;
+    let rem = n % parts;
+    if base == 0 {
+        return x; // n < parts: element x lives in block x.
+    }
+    let fat = rem * (base + 1);
+    if x < fat {
+        x / (base + 1)
+    } else {
+        rem + (x - fat) / base
+    }
+}
+
+/// Expected occupancy of `bins` bins after throwing `balls` balls:
+/// `bins·(1 − e^(−balls/bins))`. Estimates how many *distinct* output rows
+/// a set of products compresses to when a column's `dⱼ` candidate rows are
+/// split across grid cells.
+pub fn occ(balls: f64, bins: f64) -> f64 {
+    if balls <= 0.0 || bins <= 0.0 {
+        return 0.0;
+    }
+    bins * (1.0 - (-balls / bins).exp())
+}
+
+/// Exact per-process placement statistics of the inputs for one `(p, l)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridShape {
+    /// Layer count.
+    pub l: usize,
+    /// Layer side `√(p/l)`.
+    pub pr: usize,
+    /// Max over processes of local `nnz(A)` (A-style placement).
+    pub max_nnz_a_proc: u64,
+    /// Max over processes of local `nnz(B)` (B-style placement).
+    pub max_nnz_b_proc: u64,
+    /// Critical-path nonzeros of one full A-Broadcast sweep, max over
+    /// layers: `max_k Σ_s max_i nnz(A_{i,s,k})`. The SUMMA stages are
+    /// bulk-synchronous (the column broadcasts re-sync every row each
+    /// stage), so the sweep's bandwidth time is the *sum of per-stage
+    /// maxima* — on skewed inputs this exceeds any single rank's own
+    /// receive volume, and the surplus is what the simulator books as
+    /// `Wait`.
+    pub sweep_nnz_a: u64,
+    /// Critical-path nonzeros of a full B-Broadcast sweep, max over
+    /// layers: `max_k Σ_s max_j nnz(B_{s,j,k})`.
+    pub sweep_nnz_b: u64,
+}
+
+/// Bucket every nonzero of `a` (A-style) and `b` (B-style) onto the
+/// `(√(p/l))² × l` grid and take the maxima the predictor needs.
+pub fn grid_shape<T: Copy, U: Copy>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+    pr: usize,
+    l: usize,
+) -> GridShape {
+    let mut a_proc = vec![0u64; pr * pr * l];
+    let mut b_proc = vec![0u64; pr * pr * l];
+    let cell = |i: usize, j: usize, k: usize| (k * pr + i) * pr + j;
+
+    // A-style: rows blocked by i over pr; columns sliced by (j, k).
+    let (am, an) = (a.nrows(), a.ncols());
+    for j in 0..an {
+        let jb = block_index(an, pr, j);
+        let outer = spgemm_sparse::ops::block_range(an, pr, jb);
+        let k = if outer.is_empty() {
+            0
+        } else {
+            block_index(outer.len(), l, j - outer.start)
+        };
+        let (rows, _) = a.col(j);
+        for &r in rows {
+            let i = block_index(am, pr, r as usize);
+            a_proc[cell(i, jb, k)] += 1;
+        }
+    }
+    // B-style: rows sliced by (i, k) over pr·l; columns blocked by j.
+    let (bm, bn) = (b.nrows(), b.ncols());
+    for j in 0..bn {
+        let jb = block_index(bn, pr, j);
+        let (rows, _) = b.col(j);
+        for &r in rows {
+            let r = r as usize;
+            let ib = block_index(bm, pr, r);
+            let outer = spgemm_sparse::ops::block_range(bm, pr, ib);
+            let k = if outer.is_empty() {
+                0
+            } else {
+                block_index(outer.len(), l, r - outer.start)
+            };
+            b_proc[cell(ib, jb, k)] += 1;
+        }
+    }
+
+    let mut sweep_a = 0u64;
+    let mut sweep_b = 0u64;
+    for k in 0..l {
+        // Stage s roots: A at column s of each row; B at row s of each
+        // column. Each stage costs the max over its concurrent roots.
+        let mut a_sum = 0u64;
+        let mut b_sum = 0u64;
+        for s in 0..pr {
+            a_sum += (0..pr).map(|i| a_proc[cell(i, s, k)]).max().unwrap_or(0);
+            b_sum += (0..pr).map(|j| b_proc[cell(s, j, k)]).max().unwrap_or(0);
+        }
+        sweep_a = sweep_a.max(a_sum);
+        sweep_b = sweep_b.max(b_sum);
+    }
+    GridShape {
+        l,
+        pr,
+        max_nnz_a_proc: a_proc.iter().copied().max().unwrap_or(0),
+        max_nnz_b_proc: b_proc.iter().copied().max().unwrap_or(0),
+        sweep_nnz_a: sweep_a,
+        sweep_nnz_b: sweep_b,
+    }
+}
+
+/// What limited (or sank) a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingConstraint {
+    /// Memory is ample: one batch suffices; time alone ranks the candidate.
+    SingleBatch,
+    /// The memory budget set the batch count (Alg. 3 / Eq. 2 binding).
+    MemoryBudget,
+    /// The batch count clamped at one column per batch — the finest
+    /// column-wise batching allows.
+    ColumnGranularity,
+    /// Infeasible: the inputs alone exceed the per-process budget.
+    InputsTooLarge,
+    /// Infeasible: a single output column's intermediate exceeds the
+    /// memory left after the inputs.
+    ColumnTooLarge,
+}
+
+impl BindingConstraint {
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BindingConstraint::SingleBatch => "single-batch",
+            BindingConstraint::MemoryBudget => "memory-budget",
+            BindingConstraint::ColumnGranularity => "column-granularity",
+            BindingConstraint::InputsTooLarge => "inputs-too-large",
+            BindingConstraint::ColumnTooLarge => "column-too-large",
+        }
+    }
+}
+
+/// Predicted per-step seconds (critical-path estimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictedSteps {
+    /// Symbolic3D communication (zero when the batch count is forced).
+    pub symbolic_comm: f64,
+    /// Symbolic3D computation.
+    pub symbolic_comp: f64,
+    /// A-Broadcast (rebroadcast every batch).
+    pub abcast: f64,
+    /// B-Broadcast (bandwidth batch-count-independent).
+    pub bbcast: f64,
+    /// Local multiply.
+    pub multiply: f64,
+    /// Merge-Layer.
+    pub merge_layer: f64,
+    /// AllToAll-Fiber.
+    pub alltoall_fiber: f64,
+    /// Merge-Fiber.
+    pub merge_fiber: f64,
+}
+
+impl PredictedSteps {
+    /// Blocking-mode sum of every step.
+    pub fn sum(&self) -> f64 {
+        self.symbolic_comm
+            + self.symbolic_comp
+            + self.abcast
+            + self.bbcast
+            + self.multiply
+            + self.merge_layer
+            + self.alltoall_fiber
+            + self.merge_fiber
+    }
+}
+
+/// Everything the planner predicts about one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePrediction {
+    /// The configuration evaluated.
+    pub candidate: Candidate,
+    /// Derived batch count (0 when infeasible).
+    pub batches: usize,
+    /// Eq. 2 analytic lower bound on `b` from the probe's estimates.
+    pub eq2_bound: usize,
+    /// What bound the batch count / sank the candidate.
+    pub constraint: BindingConstraint,
+    /// Per-step predicted seconds.
+    pub steps: PredictedSteps,
+    /// α-term seconds across all communication.
+    pub latency_s: f64,
+    /// β-term seconds across all communication.
+    pub bandwidth_s: f64,
+    /// Local computation seconds.
+    pub compute_s: f64,
+    /// Broadcast seconds hidden under multiply (overlapped mode only).
+    pub hidden_s: f64,
+    /// Predicted makespan (`steps.sum() − hidden_s`; `∞` when infeasible).
+    pub total_s: f64,
+    /// Predicted per-process peak bytes (inputs + one batch's unmerged
+    /// intermediate).
+    pub peak_bytes_per_proc: usize,
+    /// Why the candidate is infeasible (empty when feasible).
+    pub note: String,
+}
+
+impl CandidatePrediction {
+    /// Can this configuration run under the budget at all?
+    pub fn feasible(&self) -> bool {
+        !matches!(
+            self.constraint,
+            BindingConstraint::InputsTooLarge | BindingConstraint::ColumnTooLarge
+        )
+    }
+}
+
+fn infeasible(
+    candidate: Candidate,
+    constraint: BindingConstraint,
+    eq2_bound: usize,
+    note: String,
+) -> CandidatePrediction {
+    CandidatePrediction {
+        candidate,
+        batches: 0,
+        eq2_bound,
+        constraint,
+        steps: PredictedSteps::default(),
+        latency_s: 0.0,
+        bandwidth_s: 0.0,
+        compute_s: 0.0,
+        hidden_s: 0.0,
+        total_s: f64::INFINITY,
+        peak_bytes_per_proc: usize::MAX,
+        note,
+    }
+}
+
+/// Evaluate one candidate against the machine and budget.
+///
+/// `include_symbolic` charges the Symbolic3D pass a real run would
+/// perform; sweeps that force the batch count set it to `false`.
+pub fn predict_candidate(
+    p: usize,
+    shape: &GridShape,
+    est: &ProbeEstimate,
+    machine: &Machine,
+    budget: &MemoryBudget,
+    include_symbolic: bool,
+    candidate: Candidate,
+) -> CandidatePrediction {
+    debug_assert_eq!(shape.l, candidate.layers);
+    let (pr, l) = (shape.pr, candidate.layers);
+    let r = budget.r;
+    let scale = est.scale;
+    let n = est.total_cols;
+
+    // ---- Memory model (Alg. 3 on probe estimates) --------------------
+    let per_proc = budget.per_process(p);
+    let input_bytes = r * (shape.max_nnz_a_proc + shape.max_nnz_b_proc) as usize;
+    let eq2 = budget.eq2_lower_bound(
+        (r as f64 * est.nnz_c as f64) as usize, // refined below; placeholder scale
+        est.nnz_a as usize,
+        est.nnz_b as usize,
+    );
+    if per_proc <= input_bytes {
+        return infeasible(
+            candidate,
+            BindingConstraint::InputsTooLarge,
+            eq2.unwrap_or(0),
+            format!(
+                "inputs need {input_bytes} bytes/process but the budget allows {per_proc}"
+            ),
+        );
+    }
+    let denom = per_proc - input_bytes;
+
+    // ---- Occupancy sums over the probed columns ----------------------
+    let cells_mult = (pr * pr * l) as f64; // (i, k, stage) cells per column
+    let mut unmerged_total = 0.0; // Σ over cells of stage-level distinct
+    let mut max_col_rank = 0.0f64; // one column's unmerged nnz on one rank
+    let mut per_colblock_unmerged = vec![0.0f64; pr]; // per owning rank (i,·,k)
+    let mut mult_work = 0.0;
+    let mut merge_layer_work = 0.0;
+    let mut merge_fiber_work = 0.0;
+    let mut sym_work = 0.0;
+    let mut max_send_layer_merged = vec![0.0f64; pr];
+
+    for (idx, &gj) in est.cols.iter().enumerate() {
+        let f = est.col_flops[idx] as f64;
+        let d = est.col_nnz[idx] as f64;
+        let k_streams = est.col_bnnz[idx] as f64;
+        if f <= 0.0 {
+            continue;
+        }
+        let bins = (d / pr as f64).max(1.0);
+        let fpc = f / cells_mult; // flops per (i, k, stage) cell
+        let u_cell = occ(fpc, bins); // distinct per stage cell
+        let om = occ(f / (pr * l) as f64, bins); // after Merge-Layer, per (i, k)
+        let of = occ(f / pr as f64, bins); // after Merge-Fiber, per i
+        let col_rank_unmerged = pr as f64 * u_cell; // per (i, k) rank over a sweep
+        let jb = block_index(n.max(1), pr, gj);
+
+        unmerged_total += (pr * l) as f64 * col_rank_unmerged;
+        max_col_rank = max_col_rank.max(col_rank_unmerged);
+        per_colblock_unmerged[jb] += col_rank_unmerged;
+        max_send_layer_merged[jb] += om; // per (i, k) rank of block jb
+
+        // Local multiply work (per cell, mirroring the kernels' formulas).
+        let w_cell = match candidate.kernels {
+            KernelStrategy::New => fpc * C_HASH_FLOP + u_cell * C_DRAIN,
+            KernelStrategy::Previous => {
+                let kc = (k_streams / (pr * l) as f64).max(1.0);
+                if kc <= HEAP_STREAMS_MAX {
+                    fpc * lg(kc) * C_HEAP_FLOP
+                } else {
+                    fpc * C_HASH_FLOP + u_cell * lg(u_cell) * C_SORT
+                }
+            }
+        };
+        mult_work += cells_mult * w_cell;
+
+        if pr > 1 {
+            let merge_in = pr as f64 * u_cell;
+            let w_ml = match candidate.kernels {
+                KernelStrategy::New => merge_in * C_MERGE_HASH + om * C_DRAIN,
+                KernelStrategy::Previous => merge_in * lg(pr as f64) * C_MERGE_HEAP,
+            };
+            merge_layer_work += (pr * l) as f64 * w_ml;
+        }
+        if l > 1 {
+            let fiber_in = l as f64 * om;
+            let w_mf = match candidate.kernels {
+                KernelStrategy::New => {
+                    fiber_in * C_MERGE_HASH + of * C_DRAIN + of * lg(of) * C_SORT
+                }
+                KernelStrategy::Previous => fiber_in * lg(l as f64) * C_MERGE_HEAP,
+            };
+            merge_fiber_work += pr as f64 * w_mf;
+        }
+        sym_work += f * (C_HASH_FLOP * 0.5) + cells_mult * u_cell * (C_DRAIN * 0.25);
+    }
+
+    // Load imbalance across process columns (ratio of the heaviest
+    // column-block to the mean), from the probe's per-block sums.
+    let block_sum: f64 = per_colblock_unmerged.iter().sum();
+    let gamma = if block_sum > 0.0 {
+        (per_colblock_unmerged.iter().copied().fold(0.0, f64::max) * pr as f64 / block_sum)
+            .clamp(1.0, 3.0)
+    } else {
+        1.0
+    };
+
+    let max_unmerged_proc = scale
+        * per_colblock_unmerged
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+    let total_unmerged = scale * unmerged_total;
+
+    // Single-column feasibility (the paper's upper bound on b).
+    let max_col_bytes = (r as f64 * max_col_rank).ceil() as usize;
+    if max_col_bytes > denom {
+        return infeasible(
+            candidate,
+            BindingConstraint::ColumnTooLarge,
+            eq2.unwrap_or(0),
+            format!(
+                "one output column needs ~{max_col_bytes} intermediate bytes but only \
+                 {denom} remain after the inputs"
+            ),
+        );
+    }
+
+    let mem_c_bytes = (r as f64 * total_unmerged).ceil() as usize;
+    let eq2_bound = match budget.eq2_lower_bound(mem_c_bytes, est.nnz_a as usize, est.nnz_b as usize)
+    {
+        Some(bnd) => bnd,
+        None => {
+            return infeasible(
+                candidate,
+                BindingConstraint::InputsTooLarge,
+                0,
+                "global inputs alone exhaust the aggregate budget".into(),
+            )
+        }
+    };
+    let b_alg3 = ((r as f64 * max_unmerged_proc / denom as f64).ceil() as usize).max(1);
+    let b_raw = b_alg3.max(eq2_bound);
+    let batches = b_raw.clamp(1, n.max(1));
+    let constraint = if batches == 1 {
+        BindingConstraint::SingleBatch
+    } else if b_raw > n {
+        BindingConstraint::ColumnGranularity
+    } else {
+        BindingConstraint::MemoryBudget
+    };
+    let peak_bytes_per_proc =
+        input_bytes + ((r as f64 * max_unmerged_proc / batches as f64).ceil() as usize);
+
+    // ---- Time model (same Machine formulas the simulator charges) ----
+    let b = batches as f64;
+    let lg_pr = if pr > 1 { (pr as f64).log2().ceil() } else { 0.0 };
+    let lg_p = if p > 1 { (p as f64).log2().ceil() } else { 0.0 };
+
+    let ab_lat = b * pr as f64 * machine.alpha * lg_pr;
+    let ab_bw = b * machine.beta * (r as u64 * shape.sweep_nnz_a) as f64;
+    let bb_lat = b * pr as f64 * machine.alpha * lg_pr;
+    let bb_bw = machine.beta * (r as u64 * shape.sweep_nnz_b) as f64;
+    let (a2a_lat, a2a_bw) = if l > 1 {
+        // The collective charges the heaviest sender's full payload: a
+        // rank ships all but 1/l of its layer-merged block along the
+        // fiber, and column batches partition that total across batches.
+        let send_max = scale * max_send_layer_merged.iter().copied().fold(0.0, f64::max);
+        (
+            b * (l - 1) as f64 * machine.alpha,
+            machine.beta * r as f64 * send_max * (1.0 - 1.0 / l as f64),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    let t_mult = machine.compute_secs(mult_work * scale * gamma / p as f64);
+    let t_ml = machine.compute_secs(merge_layer_work * scale * gamma / p as f64);
+    let t_mf = machine.compute_secs(merge_fiber_work * scale * gamma / p as f64);
+
+    let (sym_comm, sym_comp) = if include_symbolic {
+        let bcast_lat = 2.0 * pr as f64 * machine.alpha * lg_pr;
+        let bcast_bw =
+            machine.beta * (r as u64 * (shape.sweep_nnz_a + shape.sweep_nnz_b)) as f64;
+        let reduce = 8.0 * (machine.alpha * lg_p + machine.beta * 8.0);
+        (
+            bcast_lat + bcast_bw + reduce,
+            machine.compute_secs(sym_work * scale * gamma / p as f64),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    let steps = PredictedSteps {
+        symbolic_comm: sym_comm,
+        symbolic_comp: sym_comp,
+        abcast: ab_lat + ab_bw,
+        bbcast: bb_lat + bb_bw,
+        multiply: t_mult,
+        merge_layer: t_ml,
+        alltoall_fiber: a2a_lat + a2a_bw,
+        merge_fiber: t_mf,
+    };
+
+    // Overlapped mode: every stage's broadcast after the first hides under
+    // the previous stage's multiply.
+    let stages = (b * pr as f64).max(1.0);
+    let hidden = match candidate.overlap {
+        OverlapMode::Blocking => 0.0,
+        OverlapMode::Overlapped => {
+            let c_stage = (steps.abcast + steps.bbcast) / stages;
+            let m_stage = steps.multiply / stages;
+            (stages - 1.0) * c_stage.min(m_stage)
+        }
+    };
+
+    CandidatePrediction {
+        candidate,
+        batches,
+        eq2_bound,
+        constraint,
+        steps,
+        latency_s: ab_lat + bb_lat + a2a_lat,
+        bandwidth_s: ab_bw + bb_bw + a2a_bw,
+        compute_s: t_mult + t_ml + t_mf + sym_comp,
+        hidden_s: hidden,
+        total_s: steps.sum() - hidden,
+        peak_bytes_per_proc,
+        note: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::ops::block_range;
+
+    #[test]
+    fn block_index_inverts_block_range() {
+        for n in [1usize, 5, 7, 16, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                for k in 0..parts {
+                    for x in block_range(n, parts, k) {
+                        assert_eq!(
+                            block_index(n, parts, x),
+                            k,
+                            "n={n} parts={parts} x={x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_limits() {
+        // Few balls: nearly no collisions -> occ ~ balls.
+        assert!((occ(3.0, 1e9) - 3.0).abs() < 1e-6);
+        // Many balls: all bins hit -> occ -> bins.
+        assert!((occ(1e9, 50.0) - 50.0).abs() < 1e-6);
+        // Monotone in balls.
+        assert!(occ(10.0, 20.0) < occ(20.0, 20.0));
+        assert_eq!(occ(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn grid_shape_conserves_nnz() {
+        use spgemm_sparse::gen::er_random;
+        use spgemm_sparse::semiring::PlusTimesF64;
+        let a = er_random::<PlusTimesF64>(50, 50, 5, 3);
+        let b = er_random::<PlusTimesF64>(50, 50, 5, 4);
+        for (pr, l) in [(2usize, 1usize), (2, 4), (4, 1)] {
+            let s = grid_shape(&a, &b, pr, l);
+            let p = (pr * pr * l) as u64;
+            // Maxima bound the means.
+            assert!(s.max_nnz_a_proc >= a.nnz() as u64 / p);
+            assert!(s.max_nnz_b_proc >= b.nnz() as u64 / p);
+            // Each of a layer's pr broadcast stages costs at least one
+            // process's block, so the stage-max sweep bounds both the
+            // per-process max and the layer's mean volume.
+            assert!(s.sweep_nnz_a >= s.max_nnz_a_proc);
+            assert!(s.sweep_nnz_a >= a.nnz() as u64 / (pr as u64 * l as u64));
+            assert!(s.sweep_nnz_b >= s.max_nnz_b_proc);
+        }
+    }
+}

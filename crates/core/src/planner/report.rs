@@ -1,0 +1,231 @@
+//! Ranked plan report: the argmin plus why every loser lost.
+
+use super::predict::CandidatePrediction;
+
+/// The planner's full output: every candidate, ranked.
+///
+/// Feasible candidates come first, ascending by predicted makespan;
+/// infeasible candidates follow with the constraint that sank them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Process count planned for.
+    pub p: usize,
+    /// Machine the predictions used.
+    pub machine_name: String,
+    /// Did the probe sample (`true`) or see every column (`false`)?
+    pub probe_sampled: bool,
+    /// Columns the probe actually ran LocalSymbolic on.
+    pub probe_cols: usize,
+    /// `ncols(B)`.
+    pub probe_total_cols: usize,
+    /// Probe's (scaled) flop estimate.
+    pub probe_flops: u64,
+    /// Probe's (scaled) `nnz(C)` estimate.
+    pub probe_nnz_c: u64,
+    /// Every evaluated candidate, ranked.
+    pub ranked: Vec<CandidatePrediction>,
+}
+
+impl PlanReport {
+    /// The best feasible candidate, if any.
+    pub fn winner(&self) -> Option<&CandidatePrediction> {
+        self.ranked.iter().find(|c| c.feasible())
+    }
+
+    /// Render the ranked table plus a per-loser explanation.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan: p={} machine={} probe={}/{} cols ({}) flops~{} nnzC~{}\n",
+            self.p,
+            self.machine_name,
+            self.probe_cols,
+            self.probe_total_cols,
+            if self.probe_sampled { "sampled" } else { "exact" },
+            self.probe_flops,
+            self.probe_nnz_c,
+        ));
+        out.push_str(&format!(
+            "{:<4} {:<22} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}  {}\n",
+            "rank", "candidate", "batches", "total(s)", "latency(s)", "bandw(s)", "compute(s)",
+            "peak(MB)", "constraint"
+        ));
+        for (rank, c) in self.ranked.iter().enumerate() {
+            if c.feasible() {
+                out.push_str(&format!(
+                    "{:<4} {:<22} {:>7} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.1} \
+                     {}\n",
+                    rank + 1,
+                    c.candidate.label(),
+                    c.batches,
+                    c.total_s,
+                    c.latency_s,
+                    c.bandwidth_s,
+                    c.compute_s,
+                    c.peak_bytes_per_proc as f64 / (1024.0 * 1024.0),
+                    c.constraint.label(),
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<4} {:<22} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}  {}\n",
+                    rank + 1,
+                    c.candidate.label(),
+                    "-",
+                    "infeasible",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    c.constraint.label(),
+                ));
+            }
+        }
+        if let Some(w) = self.winner() {
+            out.push_str(&format!(
+                "winner: {} with b={} (predicted {:.4e} s",
+                w.candidate.label(),
+                w.batches,
+                w.total_s
+            ));
+            if w.hidden_s > 0.0 {
+                out.push_str(&format!(", {:.4e} s hidden by overlap", w.hidden_s));
+            }
+            out.push_str(")\n");
+            for c in self.ranked.iter().filter(|c| !std::ptr::eq(*c, w)) {
+                out.push_str(&format!("  {}\n", self.explain_loss(w, c)));
+            }
+        } else {
+            out.push_str("winner: none — every candidate is infeasible under the budget\n");
+        }
+        out
+    }
+
+    /// One-line explanation of why `loser` ranked below `winner`.
+    fn explain_loss(&self, winner: &CandidatePrediction, loser: &CandidatePrediction) -> String {
+        let label = loser.candidate.label();
+        if !loser.feasible() {
+            return format!("{label}: infeasible — {}", loser.note);
+        }
+        let delta = loser.total_s - winner.total_s;
+        // Attribute the loss to the component with the largest deficit.
+        let parts = [
+            ("latency", loser.latency_s - winner.latency_s),
+            ("bandwidth", loser.bandwidth_s - winner.bandwidth_s),
+            ("compute", loser.compute_s - winner.compute_s),
+            (
+                "less overlap hiding",
+                winner.hidden_s - loser.hidden_s,
+            ),
+            (
+                "symbolic",
+                (loser.steps.symbolic_comm + loser.steps.symbolic_comp)
+                    - (winner.steps.symbolic_comm + winner.steps.symbolic_comp),
+            ),
+        ];
+        let (why, _) = parts
+            .iter()
+            .copied()
+            .fold(("ties winner", f64::MIN), |acc, x| {
+                if x.1 > acc.1 {
+                    x
+                } else {
+                    acc
+                }
+            });
+        if delta <= 0.0 {
+            format!("{label}: ties the winner ({:.4e} s)", loser.total_s)
+        } else {
+            format!(
+                "{label}: +{delta:.4e} s vs winner, mostly {why} (b={})",
+                loser.batches
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::candidate::Candidate;
+    use super::super::predict::{BindingConstraint, CandidatePrediction, PredictedSteps};
+    use super::*;
+    use crate::kernels::KernelStrategy;
+    use crate::summa2d::OverlapMode;
+
+    fn pred(l: usize, total: f64, constraint: BindingConstraint) -> CandidatePrediction {
+        CandidatePrediction {
+            candidate: Candidate {
+                layers: l,
+                kernels: KernelStrategy::New,
+                overlap: OverlapMode::Blocking,
+            },
+            batches: if constraint == BindingConstraint::InputsTooLarge {
+                0
+            } else {
+                2
+            },
+            eq2_bound: 1,
+            constraint,
+            steps: PredictedSteps::default(),
+            latency_s: total * 0.2,
+            bandwidth_s: total * 0.3,
+            compute_s: total * 0.5,
+            hidden_s: 0.0,
+            total_s: if constraint == BindingConstraint::InputsTooLarge {
+                f64::INFINITY
+            } else {
+                total
+            },
+            peak_bytes_per_proc: 1024,
+            note: if constraint == BindingConstraint::InputsTooLarge {
+                "inputs exceed budget".into()
+            } else {
+                String::new()
+            },
+        }
+    }
+
+    fn report(ranked: Vec<CandidatePrediction>) -> PlanReport {
+        PlanReport {
+            p: 16,
+            machine_name: "knl".into(),
+            probe_sampled: false,
+            probe_cols: 100,
+            probe_total_cols: 100,
+            probe_flops: 1000,
+            probe_nnz_c: 500,
+            ranked,
+        }
+    }
+
+    #[test]
+    fn winner_is_first_feasible() {
+        let r = report(vec![
+            pred(1, f64::INFINITY, BindingConstraint::InputsTooLarge),
+            pred(4, 2.0, BindingConstraint::MemoryBudget),
+            pred(16, 3.0, BindingConstraint::SingleBatch),
+        ]);
+        assert_eq!(r.winner().unwrap().candidate.layers, 4);
+    }
+
+    #[test]
+    fn no_feasible_candidates_means_no_winner() {
+        let r = report(vec![pred(1, f64::INFINITY, BindingConstraint::InputsTooLarge)]);
+        assert!(r.winner().is_none());
+        assert!(r.to_table().contains("every candidate is infeasible"));
+    }
+
+    #[test]
+    fn table_mentions_every_candidate_and_explains_losers() {
+        let r = report(vec![
+            pred(4, 2.0, BindingConstraint::MemoryBudget),
+            pred(16, 3.0, BindingConstraint::SingleBatch),
+            pred(1, f64::INFINITY, BindingConstraint::InputsTooLarge),
+        ]);
+        let t = r.to_table();
+        assert!(t.contains("l=4 new blocking"));
+        assert!(t.contains("l=16 new blocking"));
+        assert!(t.contains("winner: l=4"));
+        assert!(t.contains("+1.0000e0 s vs winner"), "{t}");
+        assert!(t.contains("infeasible — inputs exceed budget"), "{t}");
+    }
+}
