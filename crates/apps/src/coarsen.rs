@@ -100,6 +100,7 @@ pub fn heavy_connectivity_matching(
             forced_batches: None,
             merge_schedule: Default::default(),
             overlap: Default::default(),
+            exchange: Default::default(),
         };
         let mut candidates: Vec<Candidate> = Vec::new();
         let result = batched_summa3d::<PlusTimesU64>(rank, &grid, &da, &db, &bcfg, |_r, out| {

@@ -5,7 +5,8 @@
 //! spgemm info     --input M.mtx [--square | --aat]
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--layers L | --auto] [--batches B | --budget-mb M]
-//!                 [--kernels new|previous] [--machine knl|haswell|knl-mini|knl-ht]
+//!                 [--kernels new|previous] [--exchange dense|sparse]
+//!                 [--machine knl|haswell|knl-mini|knl-ht]
 //!                 [--profile PROFILE.json] [--calibrate-out PROFILE.json]
 //!                 [--batching cyclic|block|balanced] [--overlap] [--check]
 //!                 [--trace T.json] [--out C.mtx] [--verify]
@@ -32,7 +33,9 @@ use spgemm_apps::overlap::{find_overlaps, OverlapConfig};
 use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
 use spgemm_core::planner::{self, CalibrationInput, MachineProfile, PlannerConfig, ProbeConfig};
-use spgemm_core::{run_spgemm, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode, RunConfig};
+use spgemm_core::{
+    run_spgemm, ExchangeMode, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode, RunConfig,
+};
 use spgemm_simgrid::CheckMode;
 use spgemm_simgrid::{Machine, StepReport};
 use spgemm_sparse::gen::{clustered_similarity, er_random, kmer_matrix, rmat};
@@ -188,6 +191,9 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     }
     cfg.machine = machine_from_args(args)?;
     cfg.kernels = kernels_by_name(args.opt("kernels").unwrap_or("new"))?;
+    if let Some(x) = args.opt("exchange") {
+        cfg.exchange = ExchangeMode::parse(x)?;
+    }
     cfg.batching = match args.opt("batching").unwrap_or("cyclic") {
         "cyclic" => BatchingStrategy::BlockCyclic,
         "block" => BatchingStrategy::Block,

@@ -11,6 +11,7 @@
 //! HipMCL/BELLA/hypergraph-coarsening usage pattern the paper targets.
 
 use crate::dist::{CPiece, DistMatrix};
+use crate::exchange::{ExchangeMode, ExchangePlan};
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::{MemTracker, MemoryBudget};
 use crate::summa2d::{MergeSchedule, NextStage, OverlapMode, StagePending};
@@ -59,6 +60,9 @@ pub struct BatchConfig {
     /// Blocking (paper-faithful, default) or overlapped (double-buffered
     /// pipeline over nonblocking collectives) communication.
     pub overlap: OverlapMode,
+    /// How stage operands move (dense broadcast vs sparsity-aware fetch;
+    /// see [`crate::exchange`]).
+    pub exchange: ExchangeMode,
 }
 
 impl Default for BatchConfig {
@@ -70,6 +74,7 @@ impl Default for BatchConfig {
             forced_batches: None,
             merge_schedule: MergeSchedule::AfterAllStages,
             overlap: OverlapMode::Blocking,
+            exchange: ExchangeMode::DenseBcast,
         }
     }
 }
@@ -229,6 +234,9 @@ pub fn batched_summa3d<S: Semiring>(
     // accumulator and every batch's multiplies and merges reuse the same
     // scratch, so steady-state batches run allocation-free.
     let mut kernels = LocalKernels::new(cfg.kernels);
+    // One exchange plan for the whole run: the symbolic sweep and every
+    // batch share its fetch workspace and tag counter.
+    let mut plan = ExchangePlan::new(cfg.exchange);
     let needs_weights = cfg.batching == BatchingStrategy::Balanced;
     // Alg. 4 line 2: the symbolic step determines b (unless forced).
     // Balanced batching needs the symbolic per-column counts either way.
@@ -243,8 +251,9 @@ pub fn batched_summa3d<S: Semiring>(
             if forced == Some(0) {
                 return Err(CoreError::Config("forced batch count must be ≥ 1".into()));
             }
-            let (outcome, weights) =
-                symbolic3d_with_weights::<S>(rank, grid, a, b, &cfg.budget, &mut kernels)?;
+            let (outcome, weights) = symbolic3d_with_weights::<S>(
+                rank, grid, a, b, &cfg.budget, &mut kernels, &mut plan,
+            )?;
             let nb = forced.unwrap_or(outcome.batches);
             let weights = needs_weights.then_some(weights);
             (nb, Some(outcome), weights)
@@ -338,6 +347,7 @@ pub fn batched_summa3d<S: Semiring>(
             cfg.merge_schedule,
             r,
             &mut mem,
+            &mut plan,
             cfg.overlap,
             carry.take(),
             next.as_ref(),

@@ -35,10 +35,20 @@ pub enum DistKind {
 
 /// Sub-slice `sub` of `subparts` within block `idx` of `parts` of `0..n`
 /// (the hierarchical partition described in the module docs).
+///
+/// Inherits `block_range`'s degenerate-split guarantee: when
+/// `n < parts·subparts` some slices come back empty (pinned at the end of
+/// their outer block) but always inside `0..n`, and together the
+/// `parts·subparts` slices still cover `0..n` disjointly in order.
 pub fn sub_block(n: usize, parts: usize, idx: usize, subparts: usize, sub: usize) -> Range<usize> {
     let outer = block_range(n, parts, idx);
     let inner = block_range(outer.len(), subparts, sub);
-    outer.start + inner.start..outer.start + inner.end
+    let r = outer.start + inner.start..outer.start + inner.end;
+    debug_assert!(
+        r.end <= outer.end,
+        "sub_block({n}, {parts}, {idx}, {subparts}, {sub}) escapes its outer block {outer:?}"
+    );
+    r
 }
 
 /// A matrix distributed on a 3D grid, viewed from one rank.
@@ -255,6 +265,37 @@ mod tests {
                         }
                     }
                     assert_eq!(total, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_block_degenerate_when_n_below_parts_times_subparts() {
+        // Over-partitioned dimensions (n < parts·subparts) must yield
+        // in-bounds, in-order, disjoint slices with empties interleaved —
+        // the regime tiny matrices on big grids hit.
+        for n in [0usize, 1, 2, 5, 7] {
+            for parts in [2usize, 3, 4] {
+                for subparts in [2usize, 4] {
+                    if n >= parts * subparts {
+                        continue;
+                    }
+                    let mut prev_end = 0;
+                    let mut total = 0;
+                    for idx in 0..parts {
+                        for sub in 0..subparts {
+                            let r = sub_block(n, parts, idx, subparts, sub);
+                            assert!(
+                                r.start == prev_end && r.end <= n,
+                                "n={n} parts={parts} subparts={subparts} \
+                                 idx={idx} sub={sub}: {r:?}"
+                            );
+                            prev_end = r.end;
+                            total += r.len();
+                        }
+                    }
+                    assert_eq!(total, n, "n={n} parts={parts} subparts={subparts}");
                 }
             }
         }

@@ -1,0 +1,453 @@
+//! The exchange layer: every operand movement of a SUMMA stage behind one
+//! pluggable seam.
+//!
+//! A stage of 2D SUMMA (Alg. 1) must deliver two operands to every process
+//! of a layer: the stage column of `Ã` (owned by column `s` of each process
+//! row) and the stage row of `B̃` (owned by row `s` of each process
+//! column). *How* those operands move is a policy choice with a large
+//! modeled-cost footprint, so it lives behind [`ExchangePlan`] rather than
+//! inline collective calls:
+//!
+//! * [`ExchangeMode::DenseBcast`] — the paper's strategy: broadcast the
+//!   full local piece along the process row / column (blocking `bcast` or
+//!   the overlapped `ibcast` pipeline). Cost per stage ≈
+//!   `2·⌈log q⌉·(α + β·nnz·r)` on the tree model.
+//! * [`ExchangeMode::SparseFetch`] — sparsity-aware point-to-point fetch
+//!   (after SpComm3D, arXiv:2404.19638): `B̃` still moves by broadcast,
+//!   then each receiver derives from `B̃`'s row structure exactly which
+//!   columns of the stage's `Ã` its local multiply will read, posts that
+//!   index set to the owner ([`Step::FetchRequest`]), and gets back a
+//!   compact column-subset slice ([`Step::FetchReply`]) that is padded to
+//!   full operand width. When the operands are hypersparse — the regime a
+//!   3D grid with `l ≥ 4` layers produces — most of `Ã`'s columns meet no
+//!   nonzero of `B̃`, and the fetched volume is a small fraction of the
+//!   dense broadcast.
+//!
+//! Both modes produce **bit-identical** numeric output: the padded fetch
+//! operand agrees with the broadcast operand on every column the local
+//! kernel reads (property-tested in `spgemm_sparse::subset` and in the
+//! `exchange_equivalence` integration tests).
+//!
+//! ### Tag discipline
+//!
+//! Fetch traffic uses plain matched sends, which the
+//! [`spgemm_simgrid::check`] protocol verifier audits for tag collisions:
+//! reusing a tag toward the same peer is only legal once the first
+//! delivery is known complete, which unsynchronized SPMD stages cannot
+//! guarantee. Every fetch round therefore draws a fresh sequence number
+//! from the plan's monotone counter; all members of a communicator execute
+//! the same exchanges in the same order (SPMD), so the counters agree
+//! without coordination.
+
+use crate::Result;
+use spgemm_simgrid::{Grid3D, PendingBcast, PendingOp, Rank, Step};
+use spgemm_sparse::subset::{
+    extract_cols_compact, needed_rows, scatter_cols_padded, SubsetWorkspace,
+};
+use spgemm_sparse::CscMatrix;
+use std::sync::Arc;
+
+/// High bits reserved for fetch tags so they can never collide with the
+/// raw point-to-point tags used elsewhere (e.g. the transpose exchange's
+/// `0x7A_0001`), even on a shared communicator.
+const FETCH_TAG_BASE: u64 = 0xFE << 48;
+
+/// Both stage operands `(Ã, B̃)` as delivered to this rank.
+pub type OperandPair<T> = (Arc<CscMatrix<T>>, Arc<CscMatrix<T>>);
+
+/// How stage operands move between the processes of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Broadcast full local pieces along process rows/columns (Alg. 1 as
+    /// published; the default and the baseline every figure is built on).
+    #[default]
+    DenseBcast,
+    /// Broadcast `B̃`, then fetch only the needed columns of `Ã` over
+    /// tag-matched point-to-point request/reply rounds.
+    SparseFetch,
+}
+
+impl ExchangeMode {
+    /// Stable lowercase name (CLI value, planner candidate label token).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExchangeMode::DenseBcast => "dense",
+            ExchangeMode::SparseFetch => "sparse",
+        }
+    }
+
+    /// Parse a CLI value (`dense` / `sparse`).
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "dense" | "bcast" => Ok(ExchangeMode::DenseBcast),
+            "sparse" | "fetch" => Ok(ExchangeMode::SparseFetch),
+            other => Err(format!(
+                "unknown exchange mode '{other}' (expected 'dense' or 'sparse')"
+            )),
+        }
+    }
+
+    /// Every mode, for planner enumeration and sweeps.
+    pub const ALL: [ExchangeMode; 2] = [ExchangeMode::DenseBcast, ExchangeMode::SparseFetch];
+}
+
+/// Per-rank state of the exchange layer: the mode, the reusable
+/// needed-rows scratch, and the monotone fetch-round counter (see the
+/// module docs on tag discipline). One plan lives for a whole run — its
+/// workspace capacity and counter span every stage, batch, and layer.
+#[derive(Debug, Default)]
+pub struct ExchangePlan {
+    mode: ExchangeMode,
+    ws: SubsetWorkspace,
+    fetch_seq: u64,
+}
+
+/// The posted-but-unwaited operand movement of one SUMMA stage.
+///
+/// Under [`ExchangeMode::DenseBcast`] both broadcasts are in flight; under
+/// [`ExchangeMode::SparseFetch`] only the `B̃` broadcast is posted — the
+/// `Ã` fetch *depends on* the received `B̃`'s structure, so it runs inside
+/// [`ExchangePlan::wait_stage`] (the fetch round is not hidden by the
+/// pipeline; the `B̃` leg still is).
+#[must_use = "posted stage exchanges must be waited or peers deadlock"]
+pub struct StagePending<T> {
+    a: Option<PendingBcast<CscMatrix<T>>>,
+    b: PendingBcast<CscMatrix<T>>,
+    s: usize,
+}
+
+impl<T> std::fmt::Debug for StagePending<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagePending")
+            .field("a_posted", &self.a.is_some())
+            .field("stage", &self.s)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExchangePlan {
+    /// A fresh plan for one rank of one run.
+    #[must_use]
+    pub fn new(mode: ExchangeMode) -> Self {
+        ExchangePlan {
+            mode,
+            ws: SubsetWorkspace::new(),
+            fetch_seq: 0,
+        }
+    }
+
+    /// The mode this plan executes.
+    #[must_use]
+    pub fn mode(&self) -> ExchangeMode {
+        self.mode
+    }
+
+    /// Blocking stage exchange: deliver stage `s`'s `(Ã, B̃)` operands to
+    /// this rank. `steps` attributes the broadcast legs (numeric stages
+    /// use `(ABcast, BBcast)`; the symbolic sweep uses `SymbolicComm` for
+    /// both); fetch legs are always attributed to `FetchRequest` /
+    /// `FetchReply` so reports can separate them.
+    #[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + operands + model
+    pub fn exchange_stage<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        rank: &mut Rank,
+        grid: &Grid3D,
+        s: usize,
+        a_shared: &Arc<CscMatrix<T>>,
+        a_bytes: usize,
+        b_batch: &Arc<CscMatrix<T>>,
+        b_bytes: usize,
+        r: usize,
+        steps: (Step, Step),
+    ) -> Result<OperandPair<T>> {
+        let (a_step, b_step) = steps;
+        match self.mode {
+            ExchangeMode::DenseBcast => {
+                // A-Broadcast along the process row: root is column s of
+                // the row; then B-Broadcast along the process column.
+                let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
+                let a_recv = rank.bcast(&grid.row, s, a_payload, a_bytes, a_step);
+                let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
+                let b_recv = rank.bcast(&grid.col, s, b_payload, b_bytes, b_step);
+                Ok((a_recv, b_recv))
+            }
+            ExchangeMode::SparseFetch => {
+                // B must land first: the needed-column set of Ã is derived
+                // from B̃'s row structure.
+                let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
+                let b_recv = rank.bcast(&grid.col, s, b_payload, b_bytes, b_step);
+                let a_recv = self.fetch_stage_a(rank, grid, s, a_shared, &b_recv, r);
+                Ok((a_recv, b_recv))
+            }
+        }
+    }
+
+    /// Post (without waiting) stage `s`'s operand movement — the pipelined
+    /// twin of [`ExchangePlan::exchange_stage`], paired with
+    /// [`ExchangePlan::wait_stage`].
+    #[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + operands + model
+    pub fn post_stage<T: Send + Sync + 'static>(
+        &self,
+        rank: &mut Rank,
+        grid: &Grid3D,
+        s: usize,
+        a_shared: &Arc<CscMatrix<T>>,
+        a_bytes: usize,
+        b_batch: &Arc<CscMatrix<T>>,
+        b_bytes: usize,
+    ) -> StagePending<T> {
+        let a = matches!(self.mode, ExchangeMode::DenseBcast).then(|| {
+            let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
+            rank.ibcast(&grid.row, s, a_payload, a_bytes, Step::ABcast)
+        });
+        let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
+        let b = rank.ibcast(&grid.col, s, b_payload, b_bytes, Step::BBcast);
+        StagePending { a, b, s }
+    }
+
+    /// Complete a posted stage exchange. Under `SparseFetch` this is where
+    /// the fetch round runs (it needs the received `B̃`), against this
+    /// rank's `a_shared` — the same operand [`ExchangePlan::post_stage`]
+    /// was given, rebroadcast identically every batch.
+    pub fn wait_stage<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        rank: &mut Rank,
+        grid: &Grid3D,
+        pending: StagePending<T>,
+        a_shared: &Arc<CscMatrix<T>>,
+        r: usize,
+    ) -> OperandPair<T> {
+        let StagePending { a, b, s } = pending;
+        match a {
+            Some(pa) => {
+                let a_recv = pa.wait(rank);
+                let b_recv = b.wait(rank);
+                (a_recv, b_recv)
+            }
+            None => {
+                let b_recv = b.wait(rank);
+                let a_recv = self.fetch_stage_a(rank, grid, s, a_shared, &b_recv, r);
+                (a_recv, b_recv)
+            }
+        }
+    }
+
+    /// The point-to-point fetch round for stage `s`'s `Ã` operand along
+    /// the process row (owner: member `s`).
+    ///
+    /// Receivers post their needed-column index set and reassemble the
+    /// compact reply to full operand width (empty untouched columns cost
+    /// nothing in the paper's `nnz·r` byte model). The owner serves the
+    /// requests of every other row member in member order and uses its own
+    /// local piece directly. Modeled time follows the per-side convention
+    /// of the transpose exchange: each message charges `α + β·bytes` to
+    /// the side that handles it, so the owner — which serves `q − 1`
+    /// replies serially — is the modeled bottleneck.
+    fn fetch_stage_a<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        rank: &mut Rank,
+        grid: &Grid3D,
+        s: usize,
+        a_shared: &Arc<CscMatrix<T>>,
+        b_recv: &CscMatrix<T>,
+        r: usize,
+    ) -> Arc<CscMatrix<T>> {
+        let row = &grid.row;
+        let q = row.size();
+        if q == 1 {
+            return Arc::clone(a_shared);
+        }
+        let seq = self.fetch_seq;
+        self.fetch_seq += 1;
+        let req_tag = FETCH_TAG_BASE + 2 * seq;
+        let rep_tag = req_tag + 1;
+        let me = row.my_index();
+
+        if me == s {
+            debug_assert_eq!(
+                a_shared.ncols(),
+                b_recv.nrows(),
+                "stage {s}: owner's A piece and B row slice must conform \
+                 (layer {}, row {}, col {})",
+                grid.k,
+                grid.i,
+                grid.j
+            );
+            for i in (0..q).filter(|&i| i != s) {
+                let needed: Vec<u32> = rank.recv(row, i, req_tag);
+                let req_bytes = 4 * needed.len();
+                let req_cost = rank.machine().send_secs(req_bytes);
+                rank.clock_mut().advance(Step::FetchRequest, req_cost);
+                rank.clock_mut().record_comm(Step::FetchRequest, req_bytes as u64, 1);
+
+                let compact = extract_cols_compact(a_shared, &needed);
+                let rep_bytes = compact.modeled_bytes(r);
+                rank.send(row, i, rep_tag, (compact, a_shared.ncols() as u64));
+                let rep_cost = rank.machine().send_secs(rep_bytes);
+                rank.clock_mut().advance(Step::FetchReply, rep_cost);
+                rank.clock_mut().record_comm(Step::FetchReply, rep_bytes as u64, 1);
+            }
+            Arc::clone(a_shared)
+        } else {
+            let needed = needed_rows(b_recv, &mut self.ws);
+            let req_bytes = 4 * needed.len();
+            rank.send(row, s, req_tag, needed.clone());
+            let req_cost = rank.machine().send_secs(req_bytes);
+            rank.clock_mut().advance(Step::FetchRequest, req_cost);
+            rank.clock_mut().record_comm(Step::FetchRequest, req_bytes as u64, 1);
+
+            let (compact, owner_ncols): (CscMatrix<T>, u64) = rank.recv(row, s, rep_tag);
+            let rep_bytes = compact.modeled_bytes(r);
+            let rep_cost = rank.machine().send_secs(rep_bytes);
+            rank.clock_mut().advance(Step::FetchReply, rep_cost);
+            rank.clock_mut().record_comm(Step::FetchReply, rep_bytes as u64, 1);
+
+            let a = scatter_cols_padded(&compact, &needed, owner_ncols as usize);
+            debug_assert_eq!(
+                a.ncols(),
+                b_recv.nrows(),
+                "stage {s}: padded fetch operand must conform to B's row slice"
+            );
+            Arc::new(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_simgrid::{run_ranks, Grid3D, Machine};
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesF64;
+    use spgemm_sparse::ops::col_block;
+
+    #[test]
+    fn mode_names_and_parse_roundtrip() {
+        for mode in ExchangeMode::ALL {
+            assert_eq!(ExchangeMode::parse(mode.name()), Ok(mode));
+        }
+        assert_eq!(ExchangeMode::parse("bcast"), Ok(ExchangeMode::DenseBcast));
+        assert_eq!(ExchangeMode::parse("fetch"), Ok(ExchangeMode::SparseFetch));
+        assert!(ExchangeMode::parse("carrier-pigeon").is_err());
+        assert_eq!(ExchangeMode::default(), ExchangeMode::DenseBcast);
+    }
+
+    /// Blocking exchange delivers identical operands in both modes (on the
+    /// columns the kernel reads), and fetch traffic lands on its own steps.
+    #[test]
+    fn blocking_exchange_operands_agree_across_modes() {
+        let n = 24usize;
+        let run = |mode: ExchangeMode| {
+            run_ranks(4, Machine::knl(), move |rank| {
+                let grid = Grid3D::new(rank, 1);
+                // Each rank owns a distinct A piece and B piece, keyed by
+                // its grid coordinates so both modes see the same world.
+                let a_local =
+                    Arc::new(er_random::<PlusTimesF64>(n, n, 3, 100 + grid.j as u64));
+                let b_local = Arc::new(col_block(
+                    &er_random::<PlusTimesF64>(n, n, 2, 200 + grid.i as u64),
+                    0..n,
+                ));
+                let mut plan = ExchangePlan::new(mode);
+                let mut got = Vec::new();
+                for s in 0..grid.pr {
+                    let (a_recv, b_recv) = plan
+                        .exchange_stage(
+                            rank,
+                            &grid,
+                            s,
+                            &a_local,
+                            a_local.modeled_bytes(24),
+                            &b_local,
+                            b_local.modeled_bytes(24),
+                            24,
+                            (Step::ABcast, Step::BBcast),
+                        )
+                        .unwrap();
+                    assert_eq!(a_recv.ncols(), b_recv.nrows());
+                    // Compare only what a kernel would read: A's columns at
+                    // B's occupied rows.
+                    let mut ws = spgemm_sparse::subset::SubsetWorkspace::new();
+                    let need = spgemm_sparse::subset::needed_rows(&b_recv, &mut ws);
+                    let read = spgemm_sparse::subset::extract_cols_compact(&a_recv, &need);
+                    got.push((read, b_recv.as_ref().clone()));
+                }
+                let fetch_bytes = rank.clock().breakdown().bytes_of(Step::FetchReply);
+                (got, fetch_bytes)
+            })
+        };
+        let dense = run(ExchangeMode::DenseBcast);
+        let sparse = run(ExchangeMode::SparseFetch);
+        for (rk, ((dg, dfb), (sg, sfb))) in dense.iter().zip(sparse.iter()).enumerate() {
+            assert_eq!(*dfb, 0, "rank {rk}: dense mode must not fetch");
+            let _ = sfb;
+            for (s, ((da, db), (sa, sb))) in dg.iter().zip(sg.iter()).enumerate() {
+                assert!(da.eq_modulo_order(sa), "rank {rk} stage {s}: A operand");
+                assert!(db.eq_modulo_order(sb), "rank {rk} stage {s}: B operand");
+            }
+        }
+        // At least the off-owner ranks must have fetched something.
+        assert!(sparse.iter().any(|(_, fb)| *fb > 0), "no fetch traffic recorded");
+    }
+
+    /// The pipelined post/wait pair matches the blocking exchange in both
+    /// modes and keeps the checker quiet (unique tags per round).
+    #[test]
+    fn pipelined_exchange_matches_blocking() {
+        let n = 20usize;
+        for mode in ExchangeMode::ALL {
+            let results = run_ranks(4, Machine::knl(), move |rank| {
+                let grid = Grid3D::new(rank, 1);
+                let a_local =
+                    Arc::new(er_random::<PlusTimesF64>(n, n, 3, 300 + grid.j as u64));
+                let b_local =
+                    Arc::new(er_random::<PlusTimesF64>(n, n, 2, 400 + grid.i as u64));
+                let ab = a_local.modeled_bytes(24);
+                let bb = b_local.modeled_bytes(24);
+
+                let mut blocking = ExchangePlan::new(mode);
+                let mut pipelined = ExchangePlan::new(mode);
+                let mut out = Vec::new();
+                let mut pending = pipelined.post_stage(rank, &grid, 0, &a_local, ab, &b_local, bb);
+                for s in 0..grid.pr {
+                    let (pa, pb) = pipelined.wait_stage(rank, &grid, pending, &a_local, 24);
+                    pending = pipelined.post_stage(
+                        rank,
+                        &grid,
+                        (s + 1) % grid.pr,
+                        &a_local,
+                        ab,
+                        &b_local,
+                        bb,
+                    );
+                    let (ba, bbv) = blocking
+                        .exchange_stage(
+                            rank,
+                            &grid,
+                            s,
+                            &a_local,
+                            ab,
+                            &b_local,
+                            bb,
+                            24,
+                            (Step::ABcast, Step::BBcast),
+                        )
+                        .unwrap();
+                    out.push(
+                        pa.eq_modulo_order(&ba) && pb.eq_modulo_order(&bbv),
+                    );
+                }
+                // Drain the extra posted stage so no handle leaks.
+                let _ = pipelined.wait_stage(rank, &grid, pending, &a_local, 24);
+                out
+            });
+            for (rk, stages) in results.iter().enumerate() {
+                assert!(
+                    stages.iter().all(|&ok| ok),
+                    "rank {rk} mode {mode:?}: pipelined operands diverge"
+                );
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! module packages that as [`run_spgemm`].
 
 use crate::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
+use crate::exchange::ExchangeMode;
 use crate::summa2d::{MergeSchedule, OverlapMode};
 use crate::dist::{gather_pieces, scatter, transpose_to_bstyle, DistKind};
 use crate::kernels::KernelStrategy;
@@ -59,6 +60,9 @@ pub struct RunConfig {
     /// Blocking (paper-faithful) or overlapped (pipelined nonblocking
     /// broadcasts) communication.
     pub overlap: OverlapMode,
+    /// How stage operands move: dense broadcasts (paper-faithful) or
+    /// sparsity-aware point-to-point fetch ([`crate::exchange`]).
+    pub exchange: ExchangeMode,
     /// Collective-protocol verification ("MPI lint"). Defaults to
     /// [`CheckMode::default_mode`]: on in debug builds and whenever
     /// `SPGEMM_CHECK` enables it, off in release runs.
@@ -81,6 +85,7 @@ impl RunConfig {
             trace: false,
             merge_schedule: MergeSchedule::AfterAllStages,
             overlap: OverlapMode::Blocking,
+            exchange: ExchangeMode::DenseBcast,
             check: CheckMode::default_mode(),
         }
     }
@@ -215,6 +220,7 @@ pub fn run_spgemm<S: Semiring>(
             forced_batches: cfg_copy.forced_batches,
             merge_schedule: cfg_copy.merge_schedule,
             overlap: cfg_copy.overlap,
+            exchange: cfg_copy.exchange,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
@@ -283,6 +289,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             forced_batches: cfg_copy.forced_batches,
             merge_schedule: cfg_copy.merge_schedule,
             overlap: cfg_copy.overlap,
+            exchange: cfg_copy.exchange,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {

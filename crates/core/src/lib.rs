@@ -19,7 +19,9 @@
 //!   application (prune / persist / discard — the HipMCL pattern).
 //!
 //! Supporting modules: [`dist`] (the paper's Fig. 1 3D data distribution,
-//! with scatter/gather for testing), [`kernels`] (the *previous* vs *new*
+//! with scatter/gather for testing), [`exchange`] (the pluggable
+//! stage-operand movement layer: dense broadcasts vs sparsity-aware
+//! point-to-point fetch), [`kernels`] (the *previous* vs *new*
 //! local-kernel strategies of Sec. IV-D), [`memory`] (the `r`-bytes-per-
 //! nonzero budget model and runtime peak tracking), [`model`] (the
 //! analytic Table II/III cost evaluator), and [`harness`] (one-call
@@ -29,6 +31,7 @@
 
 pub mod batched;
 pub mod dist;
+pub mod exchange;
 pub mod harness;
 pub mod kernels;
 pub mod memory;
@@ -40,6 +43,7 @@ pub mod symbolic;
 
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
+pub use exchange::{ExchangeMode, ExchangePlan};
 pub use harness::{
     run_spgemm, run_spgemm_aat, run_spgemm_row_batched, LayerChoice, RunConfig, RunOutput,
 };

@@ -6,6 +6,7 @@
 //! the memory budget (Alg. 3 / Eq. 2 applied to the probe's estimates),
 //! mirroring how a real run derives it from Symbolic3D.
 
+use crate::exchange::ExchangeMode;
 use crate::kernels::KernelStrategy;
 use crate::model::validate_grid;
 use crate::summa2d::OverlapMode;
@@ -21,13 +22,15 @@ pub struct Candidate {
     pub kernels: KernelStrategy,
     /// Blocking or pipelined broadcasts.
     pub overlap: OverlapMode,
+    /// How the A operand moves: dense broadcast or sparsity-aware fetch.
+    pub exchange: ExchangeMode,
 }
 
 impl Candidate {
     /// Short human-readable label for reports.
     pub fn label(&self) -> String {
         format!(
-            "l={} {} {}",
+            "l={} {} {} {}",
             self.layers,
             match self.kernels {
                 KernelStrategy::New => "new",
@@ -36,12 +39,13 @@ impl Candidate {
             match self.overlap {
                 OverlapMode::Blocking => "blocking",
                 OverlapMode::Overlapped => "overlapped",
-            }
+            },
+            self.exchange.name(),
         )
     }
 }
 
-/// Enumerate `layers × kernels × overlaps`.
+/// Enumerate `layers × kernels × overlaps × exchanges`.
 ///
 /// With `layers = None` every feasible layer count of `p` is tried (all
 /// `l` with `l | p` and `p/l` a perfect square — never empty, since
@@ -52,6 +56,7 @@ pub fn enumerate_candidates(
     layers: Option<&[usize]>,
     kernels: &[KernelStrategy],
     overlaps: &[OverlapMode],
+    exchanges: &[ExchangeMode],
 ) -> Result<Vec<Candidate>> {
     let ls: Vec<usize> = match layers {
         Some(requested) => {
@@ -66,17 +71,21 @@ pub fn enumerate_candidates(
         }
         None => valid_layer_counts(p),
     };
-    let mut out = Vec::with_capacity(ls.len() * kernels.len() * overlaps.len());
+    let mut out =
+        Vec::with_capacity(ls.len() * kernels.len() * overlaps.len() * exchanges.len());
     for &l in &ls {
         for &k in kernels {
             for &o in overlaps {
-                let c = Candidate {
-                    layers: l,
-                    kernels: k,
-                    overlap: o,
-                };
-                if !out.contains(&c) {
-                    out.push(c);
+                for &x in exchanges {
+                    let c = Candidate {
+                        layers: l,
+                        kernels: k,
+                        overlap: o,
+                        exchange: x,
+                    };
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
                 }
             }
         }
@@ -95,6 +104,7 @@ mod tests {
             None,
             &[KernelStrategy::New],
             &[OverlapMode::Blocking],
+            &[ExchangeMode::DenseBcast],
         )
         .unwrap();
         let ls: Vec<usize> = cs.iter().map(|c| c.layers).collect();
@@ -102,15 +112,16 @@ mod tests {
     }
 
     #[test]
-    fn cross_product_over_kernels_and_overlap() {
+    fn cross_product_over_kernels_overlap_and_exchange() {
         let cs = enumerate_candidates(
             16,
             Some(&[1, 4]),
             &[KernelStrategy::New, KernelStrategy::Previous],
             &[OverlapMode::Blocking, OverlapMode::Overlapped],
+            &[ExchangeMode::DenseBcast, ExchangeMode::SparseFetch],
         )
         .unwrap();
-        assert_eq!(cs.len(), 2 * 2 * 2);
+        assert_eq!(cs.len(), 2 * 2 * 2 * 2);
     }
 
     #[test]
@@ -120,6 +131,7 @@ mod tests {
             Some(&[2]),
             &[KernelStrategy::New],
             &[OverlapMode::Blocking],
+            &[ExchangeMode::DenseBcast],
         )
         .unwrap_err();
         let msg = err.to_string();
@@ -133,8 +145,20 @@ mod tests {
             Some(&[4, 4]),
             &[KernelStrategy::New, KernelStrategy::New],
             &[OverlapMode::Blocking],
+            &[ExchangeMode::DenseBcast],
         )
         .unwrap();
         assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn label_names_the_exchange_mode() {
+        let c = Candidate {
+            layers: 4,
+            kernels: KernelStrategy::New,
+            overlap: OverlapMode::Overlapped,
+            exchange: ExchangeMode::SparseFetch,
+        };
+        assert_eq!(c.label(), "l=4 new overlapped sparse");
     }
 }

@@ -38,6 +38,7 @@ pub use predict::{
 pub use probe::{probe, ProbeConfig, ProbeEstimate};
 pub use report::PlanReport;
 
+use crate::exchange::ExchangeMode;
 use crate::harness::RunConfig;
 use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
@@ -62,6 +63,8 @@ pub struct PlannerConfig {
     pub kernels: Vec<KernelStrategy>,
     /// Overlap modes to consider.
     pub overlaps: Vec<OverlapMode>,
+    /// Exchange modes to consider for the A operand.
+    pub exchanges: Vec<ExchangeMode>,
     /// Charge the Symbolic3D pass a real run would perform (disable when
     /// comparing against sweeps that force the batch count).
     pub include_symbolic: bool,
@@ -77,6 +80,7 @@ impl PlannerConfig {
             layers: None,
             kernels: vec![KernelStrategy::New, KernelStrategy::Previous],
             overlaps: vec![OverlapMode::Blocking, OverlapMode::Overlapped],
+            exchanges: vec![ExchangeMode::DenseBcast, ExchangeMode::SparseFetch],
             include_symbolic: true,
         }
     }
@@ -92,6 +96,7 @@ impl PlannerConfig {
             layers: None,
             kernels: vec![cfg.kernels],
             overlaps: vec![cfg.overlap],
+            exchanges: vec![cfg.exchange],
             include_symbolic: cfg.forced_batches.is_none(),
         }
     }
@@ -122,6 +127,7 @@ pub fn plan<T: Copy, U: Copy>(
         cfg.layers.as_deref(),
         &cfg.kernels,
         &cfg.overlaps,
+        &cfg.exchanges,
     )?;
     let est = probe(a, b, &cfg.probe)?;
 
@@ -184,8 +190,8 @@ mod tests {
         let (a, b) = operands();
         let cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::unlimited());
         let rep = plan(16, &a, &b, &cfg).unwrap();
-        // layers {1, 4, 16} × 2 kernels × 2 overlaps
-        assert_eq!(rep.ranked.len(), 12);
+        // layers {1, 4, 16} × 2 kernels × 2 overlaps × 2 exchanges
+        assert_eq!(rep.ranked.len(), 24);
         let w = rep.winner().expect("unlimited budget must be feasible");
         assert!(w.total_s.is_finite() && w.total_s > 0.0);
         assert!(w.batches >= 1);
@@ -231,9 +237,83 @@ mod tests {
         let cfg = PlannerConfig::for_run(&rc);
         assert_eq!(cfg.kernels, vec![KernelStrategy::Previous]);
         assert_eq!(cfg.overlaps, vec![OverlapMode::Overlapped]);
+        assert_eq!(cfg.exchanges, vec![ExchangeMode::DenseBcast]);
         let (a, b) = operands();
         let rep = plan(16, &a, &b, &cfg).unwrap();
         assert_eq!(rep.ranked.len(), 3); // layers {1, 4, 16} only
+    }
+
+    #[test]
+    fn sparse_fetch_candidates_swap_abcast_for_fetch() {
+        let (a, b) = operands();
+        let cfg = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::unlimited());
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        for c in &rep.ranked {
+            let pr_gt_1 = 16 / c.candidate.layers > 1;
+            match c.candidate.exchange {
+                ExchangeMode::DenseBcast => {
+                    assert_eq!(c.steps.fetch, 0.0, "{}", c.candidate.label());
+                    assert!(c.steps.abcast > 0.0, "{}", c.candidate.label());
+                }
+                ExchangeMode::SparseFetch => {
+                    assert_eq!(c.steps.abcast, 0.0, "{}", c.candidate.label());
+                    assert_eq!(c.steps.fetch > 0.0, pr_gt_1, "{}", c.candidate.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_picks_exchange_mode_per_workload() {
+        // Pure-bandwidth machine so the comparison isolates moved bytes.
+        let mut machine = Machine::knl_mini();
+        machine.alpha = 0.0;
+        let mut cfg = PlannerConfig::new(machine, MemoryBudget::unlimited());
+        cfg.kernels = vec![KernelStrategy::New];
+        cfg.overlaps = vec![OverlapMode::Blocking];
+
+        let matched = |rep: &PlanReport, x: ExchangeMode| -> CandidatePrediction {
+            rep.ranked
+                .iter()
+                .find(|c| c.candidate.exchange == x)
+                .unwrap()
+                .clone()
+        };
+
+        // Hypersparse operands at l=4 (pr=2): tiny needed sets and a
+        // single requester per stage, so fetch ships far less than a
+        // broadcast of the full A block.
+        cfg.layers = Some(vec![4]);
+        let a = er_random::<PlusTimesF64>(4096, 4096, 1, 7);
+        let b = er_random::<PlusTimesF64>(4096, 4096, 1, 8);
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        let (dense, sparse) = (
+            matched(&rep, ExchangeMode::DenseBcast),
+            matched(&rep, ExchangeMode::SparseFetch),
+        );
+        assert!(
+            sparse.steps.fetch < dense.steps.abcast,
+            "hypersparse: fetch {} !< abcast {}",
+            sparse.steps.fetch,
+            dense.steps.abcast
+        );
+
+        // Denser operands at l=1 (pr=4): near-full needed sets and three
+        // serial requesters per stage, so the owner-serialised replies
+        // cost more than one broadcast.
+        cfg.layers = Some(vec![1]);
+        let (a, b) = operands();
+        let rep = plan(16, &a, &b, &cfg).unwrap();
+        let (dense, sparse) = (
+            matched(&rep, ExchangeMode::DenseBcast),
+            matched(&rep, ExchangeMode::SparseFetch),
+        );
+        assert!(
+            dense.steps.abcast < sparse.steps.fetch,
+            "dense-ish: abcast {} !< fetch {}",
+            dense.steps.abcast,
+            sparse.steps.fetch
+        );
     }
 
     #[test]

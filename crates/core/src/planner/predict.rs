@@ -25,6 +25,7 @@
 
 use super::candidate::Candidate;
 use super::probe::ProbeEstimate;
+use crate::exchange::ExchangeMode;
 use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
 use crate::summa2d::OverlapMode;
@@ -77,6 +78,10 @@ pub struct GridShape {
     pub l: usize,
     /// Layer side `√(p/l)`.
     pub pr: usize,
+    /// Inner dimension (`ncols(A)` = `nrows(B)`) — the fetch model's bin
+    /// count when estimating how many A columns a receiver's needed set
+    /// covers.
+    pub inner: usize,
     /// Max over processes of local `nnz(A)` (A-style placement).
     pub max_nnz_a_proc: u64,
     /// Max over processes of local `nnz(B)` (B-style placement).
@@ -157,6 +162,7 @@ pub fn grid_shape<T: Copy, U: Copy>(
     GridShape {
         l,
         pr,
+        inner: an,
         max_nnz_a_proc: a_proc.iter().copied().max().unwrap_or(0),
         max_nnz_b_proc: b_proc.iter().copied().max().unwrap_or(0),
         sweep_nnz_a: sweep_a,
@@ -201,8 +207,11 @@ pub struct PredictedSteps {
     pub symbolic_comm: f64,
     /// Symbolic3D computation.
     pub symbolic_comp: f64,
-    /// A-Broadcast (rebroadcast every batch).
+    /// A-Broadcast (rebroadcast every batch; zero under `SparseFetch`).
     pub abcast: f64,
+    /// Sparse A fetch — request round plus owner-serialised replies
+    /// (zero under `DenseBcast`).
+    pub fetch: f64,
     /// B-Broadcast (bandwidth batch-count-independent).
     pub bbcast: f64,
     /// Local multiply.
@@ -221,6 +230,7 @@ impl PredictedSteps {
         self.symbolic_comm
             + self.symbolic_comp
             + self.abcast
+            + self.fetch
             + self.bbcast
             + self.multiply
             + self.merge_layer
@@ -458,8 +468,41 @@ pub fn predict_candidate(
     let lg_pr = if pr > 1 { (pr as f64).log2().ceil() } else { 0.0 };
     let lg_p = if p > 1 { (p as f64).log2().ceil() } else { 0.0 };
 
-    let ab_lat = b * pr as f64 * machine.alpha * lg_pr;
-    let ab_bw = b * machine.beta * (r as u64 * shape.sweep_nnz_a) as f64;
+    // Sparsity-aware fetch cost of one full A sweep. The critical path is
+    // the stage owner, which serves its pr−1 row peers serially: one
+    // request round (4-byte row indices) plus replies carrying only the
+    // needed A columns. `b_piece` is the expected nnz of the B block a
+    // receiver derives its needed set from; the occupancy of the stage's
+    // inner-dimension slice gives the expected fraction of A columns
+    // actually shipped.
+    let fetch_sweep = |b_piece: f64| -> (f64, f64) {
+        if pr <= 1 {
+            return (0.0, 0.0); // A is already local to the row.
+        }
+        let bins = (shape.inner as f64 / (pr * l) as f64).max(1.0);
+        let needed = occ(b_piece, bins);
+        let frac = (needed / bins).min(1.0);
+        let lat = pr as f64 * 2.0 * (pr - 1) as f64 * machine.alpha;
+        let bw = (pr - 1) as f64
+            * machine.beta
+            * (pr as f64 * 4.0 * needed + frac * (r as u64 * shape.sweep_nnz_a) as f64);
+        (lat, bw)
+    };
+
+    let (ab_lat, ab_bw, fetch_lat, fetch_bw) = match candidate.exchange {
+        ExchangeMode::DenseBcast => (
+            b * pr as f64 * machine.alpha * lg_pr,
+            b * machine.beta * (r as u64 * shape.sweep_nnz_a) as f64,
+            0.0,
+            0.0,
+        ),
+        ExchangeMode::SparseFetch => {
+            // A batch sees 1/b of B's columns, so the per-stage B piece —
+            // and with it the needed set — shrinks as b grows.
+            let (lat, bw) = fetch_sweep(shape.sweep_nnz_b as f64 / (pr as f64 * b));
+            (0.0, 0.0, b * lat, b * bw)
+        }
+    };
     let bb_lat = b * pr as f64 * machine.alpha * lg_pr;
     let bb_bw = machine.beta * (r as u64 * shape.sweep_nnz_b) as f64;
     let (a2a_lat, a2a_bw) = if l > 1 {
@@ -480,12 +523,24 @@ pub fn predict_candidate(
     let t_mf = machine.compute_secs(merge_fiber_work * scale * gamma / p as f64);
 
     let (sym_comm, sym_comp) = if include_symbolic {
-        let bcast_lat = 2.0 * pr as f64 * machine.alpha * lg_pr;
-        let bcast_bw =
-            machine.beta * (r as u64 * (shape.sweep_nnz_a + shape.sweep_nnz_b)) as f64;
+        // The symbolic sweep moves operands through the same exchange plan
+        // as the numeric phase: under SparseFetch its A leg is fetched too
+        // (single batch, so the needed set comes from the full B piece).
+        let b_leg = pr as f64 * machine.alpha * lg_pr
+            + machine.beta * (r as u64 * shape.sweep_nnz_b) as f64;
+        let a_leg = match candidate.exchange {
+            ExchangeMode::DenseBcast => {
+                pr as f64 * machine.alpha * lg_pr
+                    + machine.beta * (r as u64 * shape.sweep_nnz_a) as f64
+            }
+            ExchangeMode::SparseFetch => {
+                let (lat, bw) = fetch_sweep(shape.sweep_nnz_b as f64 / pr as f64);
+                lat + bw
+            }
+        };
         let reduce = 8.0 * (machine.alpha * lg_p + machine.beta * 8.0);
         (
-            bcast_lat + bcast_bw + reduce,
+            a_leg + b_leg + reduce,
             machine.compute_secs(sym_work * scale * gamma / p as f64),
         )
     } else {
@@ -496,6 +551,7 @@ pub fn predict_candidate(
         symbolic_comm: sym_comm,
         symbolic_comp: sym_comp,
         abcast: ab_lat + ab_bw,
+        fetch: fetch_lat + fetch_bw,
         bbcast: bb_lat + bb_bw,
         multiply: t_mult,
         merge_layer: t_ml,
@@ -509,7 +565,14 @@ pub fn predict_candidate(
     let hidden = match candidate.overlap {
         OverlapMode::Blocking => 0.0,
         OverlapMode::Overlapped => {
-            let c_stage = (steps.abcast + steps.bbcast) / stages;
+            // SparseFetch posts only the B broadcast ahead of the stage;
+            // the A fetch needs the received B's structure and runs at
+            // wait time, so it is never hidden.
+            let hideable = match candidate.exchange {
+                ExchangeMode::DenseBcast => steps.abcast + steps.bbcast,
+                ExchangeMode::SparseFetch => steps.bbcast,
+            };
+            let c_stage = hideable / stages;
             let m_stage = steps.multiply / stages;
             (stages - 1.0) * c_stage.min(m_stage)
         }
@@ -521,8 +584,8 @@ pub fn predict_candidate(
         eq2_bound,
         constraint,
         steps,
-        latency_s: ab_lat + bb_lat + a2a_lat,
-        bandwidth_s: ab_bw + bb_bw + a2a_bw,
+        latency_s: ab_lat + fetch_lat + bb_lat + a2a_lat,
+        bandwidth_s: ab_bw + fetch_bw + bb_bw + a2a_bw,
         compute_s: t_mult + t_ml + t_mf + sym_comp,
         hidden_s: hidden,
         total_s: steps.sum() - hidden,

@@ -148,6 +148,7 @@ mod tests {
     use super::super::candidate::Candidate;
     use super::super::predict::{BindingConstraint, CandidatePrediction, PredictedSteps};
     use super::*;
+    use crate::exchange::ExchangeMode;
     use crate::kernels::KernelStrategy;
     use crate::summa2d::OverlapMode;
 
@@ -157,6 +158,7 @@ mod tests {
                 layers: l,
                 kernels: KernelStrategy::New,
                 overlap: OverlapMode::Blocking,
+                exchange: ExchangeMode::DenseBcast,
             },
             batches: if constraint == BindingConstraint::InputsTooLarge {
                 0

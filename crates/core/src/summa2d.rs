@@ -10,12 +10,15 @@
 //! [`crate::summa3d`] to reduce across fibers.
 
 use crate::dist::DistMatrix;
+use crate::exchange::ExchangePlan;
 use crate::kernels::LocalKernels;
 use crate::memory::MemTracker;
 use crate::Result;
-use spgemm_simgrid::{Grid3D, PendingBcast, PendingOp, Rank, Step};
+use spgemm_simgrid::{Grid3D, Rank, Step};
 use spgemm_sparse::{CscMatrix, Semiring};
 use std::sync::Arc;
+
+pub use crate::exchange::StagePending;
 
 /// Whether stage broadcasts run blocking or pipelined (the overlap
 /// tentpole). Blocking is the default: it reproduces the paper's strictly
@@ -34,25 +37,9 @@ pub enum OverlapMode {
     Overlapped,
 }
 
-/// A pipeline carry: stage-0 broadcasts already posted for the *next*
+/// A pipeline carry: stage-0 exchange already posted for the *next*
 /// batch (absent in blocking mode and after the final batch).
 pub type StageCarry<T> = Option<StagePending<T>>;
-
-/// The posted-but-unwaited A/B broadcasts of one SUMMA stage.
-#[must_use = "posted stage broadcasts must be waited or peers deadlock"]
-pub struct StagePending<T> {
-    a: PendingBcast<CscMatrix<T>>,
-    b: PendingBcast<CscMatrix<T>>,
-}
-
-impl<T> std::fmt::Debug for StagePending<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StagePending")
-            .field("a", &self.a)
-            .field("b", &self.b)
-            .finish()
-    }
-}
 
 /// Stage-0 inputs of the *next* batch, staged one batch ahead so the
 /// current batch's last SUMMA stage can post their broadcasts (the
@@ -76,23 +63,6 @@ impl<T> std::fmt::Debug for NextStage<T> {
             .field("b_bytes", &self.b_bytes)
             .finish_non_exhaustive()
     }
-}
-
-/// Post (without waiting) stage `s`'s A/B broadcasts.
-pub(crate) fn post_stage<T: Send + Sync + 'static>(
-    rank: &mut Rank,
-    grid: &Grid3D,
-    s: usize,
-    a_shared: &Arc<CscMatrix<T>>,
-    a_bytes: usize,
-    b_batch: &Arc<CscMatrix<T>>,
-    b_bytes: usize,
-) -> StagePending<T> {
-    let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
-    let a = rank.ibcast(&grid.row, s, a_payload, a_bytes, Step::ABcast);
-    let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
-    let b = rank.ibcast(&grid.col, s, b_payload, b_bytes, Step::BBcast);
-    StagePending { a, b }
 }
 
 /// When Merge-Layer runs relative to the SUMMA stages (Sec. III-A).
@@ -119,7 +89,9 @@ pub enum MergeSchedule {
 /// the modeled footprint of the intermediates. `kernels` is the rank's
 /// long-lived kernel engine: its workspace is reused across every stage,
 /// batch, and layer this rank executes, so steady-state stages run
-/// allocation-free (the tentpole of the workspace-reuse PR).
+/// allocation-free (the tentpole of the workspace-reuse PR). `plan` is
+/// the rank's exchange layer ([`crate::exchange`]): it decides whether
+/// stage operands move by dense broadcast or sparsity-aware fetch.
 #[allow(clippy::too_many_arguments)] // SPMD plumbing: grid + matrices + policies
 pub fn summa2d_layer<S: Semiring>(
     rank: &mut Rank,
@@ -131,20 +103,28 @@ pub fn summa2d_layer<S: Semiring>(
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
+    plan: &mut ExchangePlan,
 ) -> Result<CscMatrix<S::T>> {
     let stages = grid.pr;
     let mut acc = StageAccumulator::new(schedule, stages);
 
     for s in 0..stages {
-        // A-Broadcast along the process row: root is column s of the row.
-        let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(a_shared));
+        // Stage exchange: A along the process row (root: column s), B
+        // along the process column (root: row s) — by broadcast or fetch,
+        // per the plan's mode.
         let a_bytes = a.local.modeled_bytes(r);
-        let a_recv = rank.bcast(&grid.row, s, a_payload, a_bytes, Step::ABcast);
-
-        // B-Broadcast along the process column: root is row s of the column.
-        let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(b_batch));
         let b_bytes = b_batch.modeled_bytes(r);
-        let b_recv = rank.bcast(&grid.col, s, b_payload, b_bytes, Step::BBcast);
+        let (a_recv, b_recv) = plan.exchange_stage(
+            rank,
+            grid,
+            s,
+            a_shared,
+            a_bytes,
+            b_batch,
+            b_bytes,
+            r,
+            (Step::ABcast, Step::BBcast),
+        )?;
 
         debug_assert_eq!(
             a_recv.ncols(),
@@ -201,6 +181,7 @@ pub fn summa2d_layer_pipelined<S: Semiring>(
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
+    plan: &mut ExchangePlan,
     carry: StageCarry<S::T>,
     next: Option<&NextStage<S::T>>,
 ) -> Result<(CscMatrix<S::T>, StageCarry<S::T>)> {
@@ -209,23 +190,30 @@ pub fn summa2d_layer_pipelined<S: Semiring>(
     let b_bytes = b_batch.modeled_bytes(r);
     let mut acc = StageAccumulator::new(schedule, stages);
 
-    let mut pending = Some(
-        carry.unwrap_or_else(|| post_stage(rank, grid, 0, a_shared, a_bytes, b_batch, b_bytes)),
-    );
+    let mut pending = Some(carry.unwrap_or_else(|| {
+        plan.post_stage(rank, grid, 0, a_shared, a_bytes, b_batch, b_bytes)
+    }));
     let mut next_carry = None;
 
     for s in 0..stages {
-        let StagePending { a: pa, b: pb } = pending.take().expect("stage broadcasts posted");
-        let a_recv = pa.wait(rank);
-        let b_recv = pb.wait(rank);
+        let posted = pending.take().expect("stage exchange posted");
+        let (a_recv, b_recv) = plan.wait_stage(rank, grid, posted, a_shared, r);
 
         // Double buffering: post the following stage (or the next batch's
         // stage 0) *before* multiplying, so the multiply hides it.
         if s + 1 < stages {
-            pending = Some(post_stage(rank, grid, s + 1, a_shared, a_bytes, b_batch, b_bytes));
+            pending =
+                Some(plan.post_stage(rank, grid, s + 1, a_shared, a_bytes, b_batch, b_bytes));
         } else if let Some(n) = next {
-            next_carry =
-                Some(post_stage(rank, grid, 0, &n.a_shared, n.a_bytes, &n.b_piece, n.b_bytes));
+            next_carry = Some(plan.post_stage(
+                rank,
+                grid,
+                0,
+                &n.a_shared,
+                n.a_bytes,
+                &n.b_piece,
+                n.b_bytes,
+            ));
         }
 
         debug_assert_eq!(
@@ -400,9 +388,12 @@ mod tests {
             let b_shared = Arc::new(b.local.clone());
             let mut mem = MemTracker::new();
             let mut kernels = LocalKernels::new(strategy);
-            let mut d =
-                summa2d_layer::<S>(rank, &grid, &a, &a_shared, &b_shared, &mut kernels, schedule, 24, &mut mem)
-                    .expect("summa2d failed");
+            let mut plan = ExchangePlan::default();
+            let mut d = summa2d_layer::<S>(
+                rank, &grid, &a, &a_shared, &b_shared, &mut kernels, schedule, 24, &mut mem,
+                &mut plan,
+            )
+            .expect("summa2d failed");
             d.sort_columns();
             let piece = CPiece {
                 local: d,
@@ -504,6 +495,7 @@ mod tests {
                     schedule,
                     24,
                     &mut mem,
+                    &mut ExchangePlan::default(),
                 )
                 .unwrap();
                 (mem.peak(), rank.clock().breakdown().secs_of(Step::MergeLayer))
@@ -557,6 +549,7 @@ mod tests {
                 MergeSchedule::AfterAllStages,
                 24,
                 &mut mem,
+                &mut ExchangePlan::default(),
             )
             .unwrap();
             *rank.clock().breakdown()

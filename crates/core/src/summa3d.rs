@@ -8,6 +8,7 @@
 //! (*Merge-Fiber*) into its final piece of `C` for this batch.
 
 use crate::dist::{CPiece, DistMatrix};
+use crate::exchange::ExchangePlan;
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::MemTracker;
 use crate::summa2d::{
@@ -46,6 +47,7 @@ pub fn summa3d_batch<S: Semiring>(
     schedule: MergeSchedule,
     r: usize,
     mem: &mut MemTracker,
+    plan: &mut ExchangePlan,
     overlap: OverlapMode,
     carry: StageCarry<S::T>,
     next: Option<&NextStage<S::T>>,
@@ -58,11 +60,13 @@ pub fn summa3d_batch<S: Semiring>(
     let (d, next_carry) = match overlap {
         OverlapMode::Blocking => {
             debug_assert!(carry.is_none() && next.is_none(), "blocking mode never pipelines");
-            let d = summa2d_layer::<S>(rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem)?;
+            let d = summa2d_layer::<S>(
+                rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem, plan,
+            )?;
             (d, None)
         }
         OverlapMode::Overlapped => summa2d_layer_pipelined::<S>(
-            rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem, carry, next,
+            rank, grid, a, a_shared, b_batch, kernels, schedule, r, mem, plan, carry, next,
         )?,
     };
 
@@ -155,6 +159,7 @@ pub fn summa3d<S: Semiring>(
     mem: &mut MemTracker,
 ) -> Result<CPiece<S::T>> {
     let mut kernels = LocalKernels::new(strategy);
+    let mut plan = ExchangePlan::default();
     let a_shared = Arc::new(a.local.clone());
     let b_shared = Arc::new(b.local.clone());
     let gcols: Vec<u32> = b.col_range(grid).map(|c| c as u32).collect();
@@ -176,6 +181,7 @@ pub fn summa3d<S: Semiring>(
         MergeSchedule::AfterAllStages,
         r,
         mem,
+        &mut plan,
         OverlapMode::Blocking,
         None,
         None,

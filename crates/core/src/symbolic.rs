@@ -13,6 +13,7 @@
 //! matrices relative to the perfectly-balanced Eq. 2 bound.
 
 use crate::dist::DistMatrix;
+use crate::exchange::ExchangePlan;
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::MemoryBudget;
 use crate::{CoreError, Result};
@@ -69,7 +70,9 @@ pub fn symbolic3d<S: Semiring>(
     budget: &MemoryBudget,
 ) -> Result<SymbolicOutcome> {
     let mut kernels = LocalKernels::new(KernelStrategy::default());
-    symbolic3d_with_weights::<S>(rank, grid, a, b, budget, &mut kernels).map(|(o, _)| o)
+    let mut plan = ExchangePlan::default();
+    symbolic3d_with_weights::<S>(rank, grid, a, b, budget, &mut kernels, &mut plan)
+        .map(|(o, _)| o)
 }
 
 /// [`symbolic3d`] plus this rank's per-local-column unmerged intermediate
@@ -78,7 +81,10 @@ pub fn symbolic3d<S: Semiring>(
 ///
 /// `kernels` supplies the reusable symbolic accumulator; passing the same
 /// engine later used for the numeric batches means the hash table warmed
-/// up here is already sized when the numeric sweep begins.
+/// up here is already sized when the numeric sweep begins. `plan` decides
+/// how the structure-only stage operands move (the symbolic sweep follows
+/// the same exchange mode as the numeric stages it predicts, so its
+/// modeled communication matches what the numeric run will pay).
 pub fn symbolic3d_with_weights<S: Semiring>(
     rank: &mut Rank,
     grid: &Grid3D,
@@ -86,6 +92,7 @@ pub fn symbolic3d_with_weights<S: Semiring>(
     b: &DistMatrix<S::T>,
     budget: &MemoryBudget,
     kernels: &mut LocalKernels<S::T>,
+    plan: &mut ExchangePlan,
 ) -> Result<(SymbolicOutcome, Vec<u64>)> {
     let stages = grid.pr;
     let a_shared = Arc::new(a.local.clone());
@@ -99,22 +106,17 @@ pub fn symbolic3d_with_weights<S: Semiring>(
     let mut my_flops: u64 = 0;
     let mut my_col_unmerged: Vec<u64> = vec![0; b.local.ncols()];
     for s in 0..stages {
-        let a_payload = (grid.row.my_index() == s).then(|| Arc::clone(&a_shared));
-        let a_recv = rank.bcast(
-            &grid.row,
+        let (a_recv, b_recv) = plan.exchange_stage(
+            rank,
+            grid,
             s,
-            a_payload,
+            &a_shared,
             a.local.modeled_bytes(r),
-            Step::SymbolicComm,
-        );
-        let b_payload = (grid.col.my_index() == s).then(|| Arc::clone(&b_shared));
-        let b_recv = rank.bcast(
-            &grid.col,
-            s,
-            b_payload,
+            &b_shared,
             b.local.modeled_bytes(r),
-            Step::SymbolicComm,
-        );
+            r,
+            (Step::SymbolicComm, Step::SymbolicComm),
+        )?;
         let (counts, stats) = kernels.symbolic_col_counts(&*a_recv, &*b_recv)?;
         rank.compute(Step::SymbolicComp, stats.work_units);
         my_unmerged += stats.nnz_out;

@@ -1,0 +1,105 @@
+//! Property tests for the 3D distribution layer: scatter → gather
+//! round-trips and `transpose_to_bstyle` slice conformance, over every
+//! valid `(p, l)` pair of several process counts and arbitrary
+//! (including non-square and degenerate) matrix shapes.
+
+use proptest::prelude::*;
+use spgemm_core::dist::{
+    gather_dist, scatter, sub_block, transpose_to_bstyle, DistKind,
+};
+use spgemm_simgrid::grid::valid_layer_counts;
+use spgemm_simgrid::{run_ranks, Grid3D, Machine};
+use spgemm_sparse::gen::er_random;
+use spgemm_sparse::semiring::PlusTimesF64;
+use std::sync::Arc;
+
+const PS: [usize; 6] = [1, 4, 8, 9, 12, 16];
+
+/// Pick a process count and one of its valid layer counts.
+fn grid_pair(pi: usize, li: usize) -> (usize, usize) {
+    let p = PS[pi % PS.len()];
+    let ls = valid_layer_counts(p);
+    (p, ls[li % ls.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `scatter` then `gather_pieces` (via `gather_dist`) reproduces the
+    /// global matrix exactly for both distribution styles, any valid
+    /// grid, and shapes the grid over-partitions (`n < pr·l`).
+    #[test]
+    fn scatter_gather_roundtrips(
+        pi in 0usize..6,
+        li in 0usize..4,
+        nrows in 1usize..60,
+        ncols in 1usize..60,
+        deg in 1usize..4,
+        seed in 0u64..1_000,
+        b_style in 0usize..2,
+    ) {
+        let (p, l) = grid_pair(pi, li);
+        let kind = if b_style == 1 { DistKind::BStyle } else { DistKind::AStyle };
+        let global = er_random::<PlusTimesF64>(nrows, ncols, deg, seed);
+        let g2 = global.clone();
+        let results = run_ranks(p, Machine::knl_mini(), move |rank| {
+            let grid = Grid3D::new(rank, l);
+            let payload = (rank.rank() == 0).then(|| Arc::new(g2.clone()));
+            let dm = scatter(rank, &grid, kind, payload);
+            gather_dist(rank, &grid, &dm)
+        });
+        let back = results[0].clone().expect("root gathers");
+        prop_assert!(
+            global.eq_modulo_order(&back),
+            "roundtrip failed: p={p} l={l} {kind:?} {nrows}x{ncols}"
+        );
+    }
+
+    /// `transpose_to_bstyle` hands every rank the `(i, k)` row slice that
+    /// is conformant with A's `(s, k)` column slices — the requirement
+    /// for stage `s` of SUMMA inside layer `k` — and the gathered result
+    /// equals the serial transpose, for non-square shapes and every
+    /// valid `(p, l)`.
+    #[test]
+    fn transpose_to_bstyle_slices_conform(
+        pi in 0usize..6,
+        li in 0usize..4,
+        nrows in 1usize..60,
+        ncols in 1usize..60,
+        deg in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let (p, l) = grid_pair(pi, li);
+        let global = er_random::<PlusTimesF64>(nrows, ncols, deg, seed);
+        let g2 = global.clone();
+        let results = run_ranks(p, Machine::knl_mini(), move |rank| {
+            let grid = Grid3D::new(rank, l);
+            let payload = (rank.rank() == 0).then(|| Arc::new(g2.clone()));
+            let a = scatter(rank, &grid, DistKind::AStyle, payload);
+            let at = transpose_to_bstyle(rank, &grid, &a);
+            assert_eq!(at.kind, DistKind::BStyle);
+            assert_eq!((at.grows, at.gcols), (a.gcols, a.grows));
+            // B-style row slice (i, k) of Aᵀ is the hierarchical
+            // sub-block of the inner dimension — identical to the
+            // column slice A's owner (j=i) holds, so stage pieces
+            // multiply conformantly.
+            let rr = at.row_range(&grid);
+            assert_eq!(
+                rr,
+                sub_block(at.grows, grid.pr, grid.i, grid.l, grid.k),
+                "row slice mismatch at rank ({},{},{})",
+                grid.i, grid.j, grid.k
+            );
+            // Local piece dimensions agree with the claimed global slices.
+            assert_eq!(at.local.nrows(), rr.len());
+            assert_eq!(at.local.ncols(), at.col_range(&grid).len());
+            gather_dist(rank, &grid, &at)
+        });
+        let back = results[0].clone().expect("root gathers");
+        let expect = spgemm_sparse::ops::transpose(&global);
+        prop_assert!(
+            back.eq_modulo_order(&expect),
+            "transpose mismatch: p={p} l={l} {nrows}x{ncols}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! SparseFetch vs DenseBcast: the exchange mode is a pure *transport*
+//! change.
+//!
+//! The sparsity-aware fetch pads the received A operand so every column
+//! the kernel reads (A columns at the received B's occupied rows) agrees
+//! with what the broadcast would have delivered — so the product is
+//! bit-identical (`==` on the gathered CSC, not just `eq_modulo_order`)
+//! across semirings, grids, batch counts, and overlap modes; only the
+//! modeled clocks and recorded step bytes differ. The protocol checker
+//! must stay silent in both modes.
+
+use spgemm_core::{run_spgemm, ExchangeMode, OverlapMode, RunConfig};
+use spgemm_simgrid::{CheckMode, Step};
+use spgemm_sparse::gen::{er_random, rmat};
+use spgemm_sparse::semiring::{PlusTimesF64, PlusTimesU64, Semiring};
+use spgemm_sparse::spgemm::spgemm_spa;
+use spgemm_sparse::CscMatrix;
+
+fn run<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    b: &CscMatrix<S::T>,
+    p: usize,
+    l: usize,
+    nb: usize,
+    overlap: OverlapMode,
+    exchange: ExchangeMode,
+) -> spgemm_core::RunOutput<S::T> {
+    let mut cfg = RunConfig::new(p, l);
+    cfg.forced_batches = Some(nb);
+    cfg.overlap = overlap;
+    cfg.exchange = exchange;
+    cfg.check = CheckMode::Check; // zero tolerated violations, both modes
+    run_spgemm::<S>(&cfg, a, b).unwrap()
+}
+
+/// Headline property: SparseFetch output is bit-identical to DenseBcast
+/// across semirings, grids, batch counts, and both overlap modes.
+#[test]
+fn sparse_fetch_is_bit_identical_to_dense_bcast() {
+    let af = er_random::<PlusTimesF64>(48, 48, 5, 310);
+    let bf = er_random::<PlusTimesF64>(48, 48, 5, 311);
+    let au = er_random::<PlusTimesU64>(48, 48, 5, 312).map(|_| 1u64);
+    let bu = er_random::<PlusTimesU64>(48, 48, 5, 313).map(|_| 1u64);
+    for (p, l) in [(4usize, 1usize), (8, 2), (16, 4), (16, 16)] {
+        for nb in [1usize, 2, 4] {
+            for ov in [OverlapMode::Blocking, OverlapMode::Overlapped] {
+                let dense =
+                    run::<PlusTimesF64>(&af, &bf, p, l, nb, ov, ExchangeMode::DenseBcast);
+                let sparse =
+                    run::<PlusTimesF64>(&af, &bf, p, l, nb, ov, ExchangeMode::SparseFetch);
+                assert_eq!(
+                    dense.c.as_ref().unwrap(),
+                    sparse.c.as_ref().unwrap(),
+                    "f64 product differs: p={p} l={l} b={nb} {ov:?}"
+                );
+                let dense =
+                    run::<PlusTimesU64>(&au, &bu, p, l, nb, ov, ExchangeMode::DenseBcast);
+                let sparse =
+                    run::<PlusTimesU64>(&au, &bu, p, l, nb, ov, ExchangeMode::SparseFetch);
+                assert_eq!(
+                    dense.c.as_ref().unwrap(),
+                    sparse.c.as_ref().unwrap(),
+                    "u64 product differs: p={p} l={l} b={nb} {ov:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Skewed non-square A·Aᵀ (the fetch mode's target workload) against the
+/// serial reference, with the symbolic pass (no forced batches) also
+/// running through the sparse exchange.
+#[test]
+fn sparse_fetch_aat_matches_serial_reference() {
+    let a = rmat::<PlusTimesF64>(6, 4, None, false, 314); // 64², skewed
+    let at = spgemm_sparse::ops::transpose(&a);
+    let (reference, _) = spgemm_spa::<PlusTimesF64>(&a, &at).unwrap();
+    for l in [1usize, 4] {
+        let mut cfg = RunConfig::new(16, l);
+        cfg.exchange = ExchangeMode::SparseFetch;
+        cfg.check = CheckMode::Check;
+        let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &at).unwrap();
+        assert!(
+            out.c.as_ref().unwrap().approx_eq(&reference, 1e-10),
+            "A·Aᵀ mismatch at l={l}"
+        );
+    }
+}
+
+/// The traffic actually moves to the fetch steps: sparse mode records
+/// FetchRequest/FetchReply bytes and no ABcast bytes, dense the reverse.
+#[test]
+fn fetch_steps_carry_the_a_traffic() {
+    let a = er_random::<PlusTimesF64>(64, 64, 4, 315);
+    let b = er_random::<PlusTimesF64>(64, 64, 4, 316);
+    let dense = run::<PlusTimesF64>(&a, &b, 16, 4, 2, OverlapMode::Blocking, ExchangeMode::DenseBcast);
+    let sparse = run::<PlusTimesF64>(&a, &b, 16, 4, 2, OverlapMode::Blocking, ExchangeMode::SparseFetch);
+    assert!(dense.max.bytes_of(Step::ABcast) > 0);
+    assert_eq!(dense.max.bytes_of(Step::FetchRequest), 0);
+    assert_eq!(dense.max.bytes_of(Step::FetchReply), 0);
+    assert_eq!(sparse.max.bytes_of(Step::ABcast), 0);
+    assert!(sparse.max.bytes_of(Step::FetchRequest) > 0);
+    assert!(sparse.max.bytes_of(Step::FetchReply) > 0);
+    // B moves identically in both modes.
+    assert_eq!(dense.max.bytes_of(Step::BBcast), sparse.max.bytes_of(Step::BBcast));
+}

@@ -34,6 +34,25 @@
 //!   communicators, or a rank exited without posting its collective). The
 //!   report lists who is stuck where and which members are missing.
 //!
+//! Point-to-point traffic ([`crate::Rank::send`]/[`crate::Rank::recv`]) is
+//! covered too — every user-level send registers its `(comm, tag, src→dst)`
+//! envelope:
+//!
+//! * **Tag collisions** ([`ViolationKind::TagCollision`]) — a second send
+//!   posted with an envelope identical to one still in flight; receives
+//!   match on `(source, comm, tag)`, so the payloads would be ambiguous.
+//! * **Unmatched receives** ([`ViolationKind::UnmatchedRecv`]) — every live
+//!   rank is blocked in a receive no peer has posted (or will ever post) a
+//!   matching send for.
+//! * **Orphaned sends** ([`ViolationKind::OrphanedSend`]) — a send whose
+//!   message was never received by the time the run ended, reported by
+//!   [`crate::runtime::run_ranks_checked`] after the threads join.
+//!
+//! Collectives move their internal traffic through unregistered
+//! `pub(crate)` send/recv twins, so checker bookkeeping tracks user-level
+//! point-to-point messages only — collective-internal phases can never
+//! false-positive here.
+//!
 //! Blocking collectives park at the rendezvous (condvar) until all members
 //! arrive, so a mismatch is reported *before* any cross-matched payload can
 //! be exchanged; nonblocking posts register without parking, preserving
@@ -44,7 +63,7 @@
 //! [`crate::runtime::run_ranks_checked`] consolidates them after the run.
 
 use crate::comm::{Comm, Envelope, Rank, WorldShared};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
@@ -137,6 +156,15 @@ pub enum ViolationKind {
     NonMonotoneClock,
     /// Every live rank is blocked at a rendezvous that cannot complete.
     Stall,
+    /// A second point-to-point send was posted with a `(comm, tag,
+    /// src → dst)` envelope identical to one still in flight.
+    TagCollision,
+    /// Every live rank is blocked in a point-to-point receive that no
+    /// matching send has been (or can ever be) posted for.
+    UnmatchedRecv,
+    /// A point-to-point send whose message was never received by the time
+    /// the run ended.
+    OrphanedSend,
 }
 
 /// A detected violation: its class, where it happened, and a detail line
@@ -147,7 +175,8 @@ pub struct ProtocolViolation {
     pub kind: ViolationKind,
     /// Communicator id the offending operation ran on.
     pub comm: u64,
-    /// Per-communicator collective sequence number of the operation.
+    /// Per-communicator collective sequence number of the operation; for
+    /// point-to-point violations, the message tag.
     pub seq: u64,
     /// Human-readable specifics (ranks, kinds, roots, counts).
     pub detail: String,
@@ -208,6 +237,12 @@ struct CheckState {
     waiting: usize,
     /// Ranks whose threads have exited (normally or by panic).
     finished: usize,
+    /// In-flight user-level point-to-point sends (posted, not yet matched
+    /// by a receive), keyed by `(comm_id, tag, src, dst)` global ranks.
+    p2p_inflight: HashSet<(u64, u64, usize, usize)>,
+    /// Ranks blocked in a point-to-point receive with no matching send
+    /// posted yet: receiver rank → `(comm_id, tag, src)`.
+    p2p_blocked: HashMap<usize, (u64, u64, usize)>,
 }
 
 /// World-shared checker state. Created by
@@ -227,6 +262,8 @@ impl CheckShared {
                 last_time: vec![0.0; p],
                 waiting: 0,
                 finished: 0,
+                p2p_inflight: HashSet::new(),
+                p2p_blocked: HashMap::new(),
             }),
             cv: Condvar::new(),
         }
@@ -250,11 +287,14 @@ fn render(violations: &[ProtocolViolation]) -> String {
         .join("\n")
 }
 
-/// A stall exists iff every rank is either parked at a rendezvous or has
-/// exited, and no completed rendezvous still has waiters to wake (those
-/// will make progress once scheduled).
+/// A stall exists iff every rank is either parked at a rendezvous, blocked
+/// in a point-to-point receive with no matching send, or has exited — and
+/// no completed rendezvous still has waiters to wake (those will make
+/// progress once scheduled). A stall consisting purely of receive-blocked
+/// ranks is classed as [`ViolationKind::UnmatchedRecv`].
 fn stall_violation(st: &CheckState, p: usize) -> Option<ProtocolViolation> {
-    if st.waiting == 0 || st.waiting + st.finished < p {
+    let blocked = st.waiting + st.p2p_blocked.len();
+    if blocked == 0 || blocked + st.finished < p {
         return None;
     }
     if st.rendezvous.values().any(|r| r.done && r.waiters > 0) {
@@ -281,13 +321,33 @@ fn stall_violation(st: &CheckState, p: usize) -> Option<ProtocolViolation> {
         ));
     }
     stuck.sort();
+    let mut recv_stuck: Vec<(usize, (u64, u64, usize))> =
+        st.p2p_blocked.iter().map(|(&r, &k)| (r, k)).collect();
+    recv_stuck.sort_unstable();
+    let pure_p2p = st.waiting == 0;
+    if let Some(&(_, (c, t, _))) = recv_stuck.first() {
+        if pure_p2p {
+            comm = c;
+            seq = t;
+        }
+        stuck.extend(recv_stuck.iter().map(|&(r, (c, t, src))| {
+            format!(
+                "rank {r} in recv from rank {src} (comm {c:#x}, tag {t}) with no matching send"
+            )
+        }));
+    }
     Some(ProtocolViolation {
-        kind: ViolationKind::Stall,
+        kind: if pure_p2p {
+            ViolationKind::UnmatchedRecv
+        } else {
+            ViolationKind::Stall
+        },
         comm,
         seq,
         detail: format!(
-            "all live ranks are blocked ({} waiting, {} exited of {p}): {}",
+            "all live ranks are blocked ({} waiting, {} in recv, {} exited of {p}): {}",
             st.waiting,
+            st.p2p_blocked.len(),
             st.finished,
             stuck.join("; ")
         ),
@@ -480,15 +540,116 @@ impl Rank {
         }
     }
 
+    /// Register a point-to-point send of `(comm, tag)` to `dst_index`.
+    /// Detects tag collisions (a second undelivered send with the same
+    /// match key would make receive pairing ambiguous) and unblocks any
+    /// receiver parked on this exact envelope.
+    pub(crate) fn check_p2p_send(&self, comm: &Comm, dst_index: usize, tag: u64) {
+        let Some(check) = self.world().check.clone() else {
+            return;
+        };
+        let me = self.rank();
+        let dst = comm.member(dst_index);
+        let key = (comm.id(), tag, me, dst);
+        let mut st = check.lock();
+        if st.tripped {
+            let report = render(&st.violations);
+            drop(st);
+            panic!("{report}");
+        }
+        if !st.p2p_inflight.insert(key) {
+            drop(st);
+            let report = trip(
+                &check,
+                self.world(),
+                me,
+                ProtocolViolation {
+                    kind: ViolationKind::TagCollision,
+                    comm: comm.id(),
+                    seq: tag,
+                    detail: format!(
+                        "rank {me} posted a second send to rank {dst} with (comm {:#x}, \
+                         tag {tag}) while the first is still undelivered: receives match \
+                         on (source, comm, tag), so the payloads are ambiguous",
+                        comm.id()
+                    ),
+                },
+            );
+            panic!("{report}");
+        }
+        if st.p2p_blocked.get(&dst) == Some(&(comm.id(), tag, me)) {
+            st.p2p_blocked.remove(&dst);
+        }
+    }
+
+    /// Register that this rank is about to block in a point-to-point
+    /// receive. If the matching send is already in flight the receive is
+    /// guaranteed to complete; otherwise the rank is recorded as
+    /// recv-blocked and the stall detector runs.
+    pub(crate) fn check_p2p_recv_pre(&self, comm: &Comm, src_index: usize, tag: u64) {
+        let Some(check) = self.world().check.clone() else {
+            return;
+        };
+        let me = self.rank();
+        let src = comm.member(src_index);
+        let mut st = check.lock();
+        if st.tripped {
+            let report = render(&st.violations);
+            drop(st);
+            panic!("{report}");
+        }
+        if st.p2p_inflight.contains(&(comm.id(), tag, src, me)) {
+            return;
+        }
+        st.p2p_blocked.insert(me, (comm.id(), tag, src));
+        if let Some(v) = stall_violation(&st, self.world().p) {
+            drop(st);
+            let report = trip(&check, self.world(), me, v);
+            panic!("{report}");
+        }
+    }
+
+    /// Mark a point-to-point receive as completed: the envelope is no
+    /// longer in flight and this rank is no longer recv-blocked.
+    pub(crate) fn check_p2p_recv_post(&self, comm: &Comm, src_index: usize, tag: u64) {
+        let Some(check) = self.world().check.clone() else {
+            return;
+        };
+        let me = self.rank();
+        let src = comm.member(src_index);
+        let mut st = check.lock();
+        st.p2p_inflight.remove(&(comm.id(), tag, src, me));
+        st.p2p_blocked.remove(&me);
+    }
+
     /// Called when this rank's thread exits (normally or by panic): a
     /// departed rank can never complete an open rendezvous, so peers parked
-    /// on one may now be provably stalled.
+    /// on one may now be provably stalled. The last rank out also sweeps
+    /// the point-to-point registry: sends still in flight after every rank
+    /// has exited can never be received, so they are recorded as
+    /// [`ViolationKind::OrphanedSend`] for the runtime to surface.
     pub(crate) fn check_exit(&self) {
         let Some(check) = self.world().check.clone() else {
             return;
         };
         let mut st = check.lock();
         st.finished += 1;
+        if st.finished == self.world().p && !st.tripped && !st.p2p_inflight.is_empty() {
+            let mut orphans: Vec<(u64, u64, usize, usize)> =
+                st.p2p_inflight.iter().copied().collect();
+            orphans.sort_unstable();
+            for (c, t, src, dst) in orphans {
+                st.violations.push(ProtocolViolation {
+                    kind: ViolationKind::OrphanedSend,
+                    comm: c,
+                    seq: t,
+                    detail: format!(
+                        "rank {src} sent to rank {dst} with (comm {c:#x}, tag {t}) but \
+                         the message was never received before the run ended"
+                    ),
+                });
+            }
+        }
         if st.tripped {
             return;
         }
@@ -612,6 +773,8 @@ mod tests {
             last_time: vec![0.0; 4],
             waiting: 2,
             finished: 1,
+            p2p_inflight: HashSet::new(),
+            p2p_blocked: HashMap::new(),
         };
         st.rendezvous.insert(
             (1, 1),

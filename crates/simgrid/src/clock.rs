@@ -37,10 +37,18 @@ pub enum Step {
     /// payload sizes, where it vanishes inside the bandwidth terms).
     /// Counted in totals: it is real critical-path time.
     Wait = 9,
+    /// Sparsity-aware exchange, request round: receivers ship their
+    /// needed-column index sets to the stage owner (`ExchangeMode::
+    /// SparseFetch`). Zero under dense broadcasts.
+    FetchRequest = 10,
+    /// Sparsity-aware exchange, reply round: owners ship the requested
+    /// column-subset slices back point-to-point. Zero under dense
+    /// broadcasts.
+    FetchReply = 11,
 }
 
 /// Number of [`Step`] variants.
-pub const N_STEPS: usize = 10;
+pub const N_STEPS: usize = 12;
 
 /// All steps in display order.
 pub const ALL_STEPS: [Step; N_STEPS] = [
@@ -48,6 +56,8 @@ pub const ALL_STEPS: [Step; N_STEPS] = [
     Step::SymbolicComp,
     Step::ABcast,
     Step::BBcast,
+    Step::FetchRequest,
+    Step::FetchReply,
     Step::LocalMultiply,
     Step::MergeLayer,
     Step::AllToAllFiber,
@@ -70,6 +80,8 @@ impl Step {
             Step::MergeFiber => "Merge-Fiber",
             Step::Other => "Other",
             Step::Wait => "Wait",
+            Step::FetchRequest => "Fetch-Request",
+            Step::FetchReply => "Fetch-Reply",
         }
     }
 
@@ -77,7 +89,12 @@ impl Step {
     pub fn is_communication(self) -> bool {
         matches!(
             self,
-            Step::SymbolicComm | Step::ABcast | Step::BBcast | Step::AllToAllFiber
+            Step::SymbolicComm
+                | Step::ABcast
+                | Step::BBcast
+                | Step::AllToAllFiber
+                | Step::FetchRequest
+                | Step::FetchReply
         )
     }
 }
@@ -311,6 +328,8 @@ mod tests {
         assert!(Step::BBcast.is_communication());
         assert!(Step::AllToAllFiber.is_communication());
         assert!(Step::SymbolicComm.is_communication());
+        assert!(Step::FetchRequest.is_communication());
+        assert!(Step::FetchReply.is_communication());
         assert!(!Step::LocalMultiply.is_communication());
         assert!(!Step::MergeLayer.is_communication());
         assert!(!Step::MergeFiber.is_communication());

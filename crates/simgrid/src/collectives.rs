@@ -47,16 +47,16 @@ impl Rank {
         let t = if me == 0 {
             let mut t = self.clock().now();
             for i in 1..q {
-                let ti: f64 = self.recv(comm, i, tag(seq, PH_SYNC_UP));
+                let ti: f64 = self.recv_raw(comm, i, tag(seq, PH_SYNC_UP));
                 t = t.max(ti);
             }
             for i in 1..q {
-                self.send(comm, i, tag(seq, PH_SYNC_DOWN), t);
+                self.send_raw(comm, i, tag(seq, PH_SYNC_DOWN), t);
             }
             t
         } else {
-            self.send(comm, 0, tag(seq, PH_SYNC_UP), self.clock().now());
-            self.recv::<f64>(comm, 0, tag(seq, PH_SYNC_DOWN))
+            self.send_raw(comm, 0, tag(seq, PH_SYNC_UP), self.clock().now());
+            self.recv_raw::<f64>(comm, 0, tag(seq, PH_SYNC_DOWN))
         };
         self.clock_mut().advance_to(Step::Wait, t);
         t
@@ -85,13 +85,13 @@ impl Rank {
             let v = value.expect("bcast root must supply the payload");
             for i in 0..q {
                 if i != root {
-                    self.send(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
+                    self.send_raw(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
                 }
             }
             (v, bytes)
         } else {
             assert!(value.is_none(), "non-root rank supplied a bcast payload");
-            let (v, b) = self.recv::<(Arc<T>, u64)>(comm, root, tag(seq, PH_DATA));
+            let (v, b) = self.recv_raw::<(Arc<T>, u64)>(comm, root, tag(seq, PH_DATA));
             (v, b as usize)
         };
         let cost = self.machine().bcast_secs(q, bytes);
@@ -117,16 +117,16 @@ impl Rank {
         let result = if me == 0 {
             let mut acc = value;
             for i in 1..q {
-                let vi: T = self.recv(comm, i, tag(seq, PH_DATA));
+                let vi: T = self.recv_raw(comm, i, tag(seq, PH_DATA));
                 acc = op(acc, vi);
             }
             for i in 1..q {
-                self.send(comm, i, tag(seq, PH_DATA + 1), acc);
+                self.send_raw(comm, i, tag(seq, PH_DATA + 1), acc);
             }
             acc
         } else {
-            self.send(comm, 0, tag(seq, PH_DATA), value);
-            self.recv::<T>(comm, 0, tag(seq, PH_DATA + 1))
+            self.send_raw(comm, 0, tag(seq, PH_DATA), value);
+            self.recv_raw::<T>(comm, 0, tag(seq, PH_DATA + 1))
         };
         let cost = self.machine().allreduce_secs(q, bytes);
         self.clock_mut().advance_to(step, t0 + cost);
@@ -150,14 +150,14 @@ impl Rank {
         let me = comm.my_index();
         for i in 0..q {
             if i != me {
-                self.send(comm, i, tag(seq, PH_DATA), value.clone());
+                self.send_raw(comm, i, tag(seq, PH_DATA), value.clone());
             }
         }
         let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
         out[me] = Some(value);
         for i in 0..q {
             if i != me {
-                out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+                out[i] = Some(self.recv_raw::<T>(comm, i, tag(seq, PH_DATA)));
             }
         }
         let cost = self.machine().allgather_secs(q, bytes_each);
@@ -202,7 +202,7 @@ impl Rank {
             if i == me {
                 own = Some(part);
             } else {
-                self.send(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
+                self.send_raw(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
             }
         }
         let mut out: Vec<Option<T>> = (0..q).map(|_| None).collect();
@@ -210,7 +210,7 @@ impl Rank {
         let mut recv_bytes = 0u64;
         for i in 0..q {
             if i != me {
-                let (part, b) = self.recv::<(T, u64)>(comm, i, tag(seq, PH_DATA));
+                let (part, b) = self.recv_raw::<(T, u64)>(comm, i, tag(seq, PH_DATA));
                 recv_bytes += b;
                 out[i] = Some(part);
             }
@@ -234,15 +234,15 @@ impl Rank {
         if me == 0 {
             let mut acc = value;
             for i in 1..q {
-                acc = acc.max(self.recv::<u64>(comm, i, tag(seq, PH_DATA + 2)));
+                acc = acc.max(self.recv_raw::<u64>(comm, i, tag(seq, PH_DATA + 2)));
             }
             for i in 1..q {
-                self.send(comm, i, tag(seq, PH_DATA + 3), acc);
+                self.send_raw(comm, i, tag(seq, PH_DATA + 3), acc);
             }
             acc
         } else {
-            self.send(comm, 0, tag(seq, PH_DATA + 2), value);
-            self.recv::<u64>(comm, 0, tag(seq, PH_DATA + 3))
+            self.send_raw(comm, 0, tag(seq, PH_DATA + 2), value);
+            self.recv_raw::<u64>(comm, 0, tag(seq, PH_DATA + 3))
         }
     }
 
@@ -283,12 +283,12 @@ impl Rank {
             out[root] = Some(value);
             for i in 0..q {
                 if i != root {
-                    out[i] = Some(self.recv::<T>(comm, i, tag(seq, PH_DATA)));
+                    out[i] = Some(self.recv_raw::<T>(comm, i, tag(seq, PH_DATA)));
                 }
             }
             Some(out.into_iter().map(Option::unwrap).collect())
         } else {
-            self.send(comm, root, tag(seq, PH_DATA), value);
+            self.send_raw(comm, root, tag(seq, PH_DATA), value);
             None
         };
         let cost = if me == root {

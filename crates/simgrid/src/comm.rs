@@ -182,7 +182,24 @@ impl Rank {
     }
 
     /// Typed point-to-point send to `dst_index` within `comm`.
+    ///
+    /// Registers the envelope with the protocol checker (tag collisions,
+    /// orphaned sends). Collectives use [`Rank::send_raw`] instead — their
+    /// traffic is already verified at the rendezvous level.
     pub fn send<T: Send + 'static>(&self, comm: &Comm, dst_index: usize, tag: u64, value: T) {
+        self.check_p2p_send(comm, dst_index, tag);
+        self.send_raw(comm, dst_index, tag, value);
+    }
+
+    /// Send without checker registration: the transport used by collective
+    /// and nonblocking internals, whose protocol is verified separately.
+    pub(crate) fn send_raw<T: Send + 'static>(
+        &self,
+        comm: &Comm,
+        dst_index: usize,
+        tag: u64,
+        value: T,
+    ) {
         let dst = comm.member(dst_index);
         self.world.senders[dst]
             .send(Envelope {
@@ -197,8 +214,23 @@ impl Rank {
     /// Typed blocking receive matching `(src_index, comm, tag)`.
     ///
     /// Non-matching arrivals are stashed and re-examined on later receives,
-    /// so interleaved traffic on other communicators is safe.
+    /// so interleaved traffic on other communicators is safe. Registers
+    /// with the protocol checker so a receive with no matching send is
+    /// reported as a stall instead of hanging forever.
     pub fn recv<T: Send + 'static>(&mut self, comm: &Comm, src_index: usize, tag: u64) -> T {
+        self.check_p2p_recv_pre(comm, src_index, tag);
+        let value = self.recv_raw(comm, src_index, tag);
+        self.check_p2p_recv_post(comm, src_index, tag);
+        value
+    }
+
+    /// Receive without checker registration (collective internals).
+    pub(crate) fn recv_raw<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        src_index: usize,
+        tag: u64,
+    ) -> T {
         let src = comm.member(src_index);
         let comm_id = comm.id();
         // Check the stash first.

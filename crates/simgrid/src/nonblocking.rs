@@ -146,7 +146,7 @@ impl Rank {
             let v = value.expect("ibcast root must supply the payload");
             for i in 0..q {
                 if i != root {
-                    self.send(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
+                    self.send_raw(comm, i, tag(seq, PH_DATA), (Arc::clone(&v), bytes as u64));
                 }
             }
             Some(v)
@@ -196,7 +196,7 @@ impl Rank {
             if i == me {
                 own = Some(part);
             } else {
-                self.send(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
+                self.send_raw(comm, i, tag(seq, PH_DATA), (part, bytes[i] as u64));
             }
         }
         PendingAlltoallv {
@@ -222,16 +222,16 @@ impl Rank {
         if me == 0 {
             let mut acc = value;
             for i in 1..q {
-                let (t, b) = self.recv::<(f64, u64)>(comm, i, tag(seq, PH_REDUCE_UP));
+                let (t, b) = self.recv_raw::<(f64, u64)>(comm, i, tag(seq, PH_REDUCE_UP));
                 acc = (acc.0.max(t), acc.1.max(b));
             }
             for i in 1..q {
-                self.send(comm, i, tag(seq, PH_REDUCE_DOWN), acc);
+                self.send_raw(comm, i, tag(seq, PH_REDUCE_DOWN), acc);
             }
             acc
         } else {
-            self.send(comm, 0, tag(seq, PH_REDUCE_UP), value);
-            self.recv::<(f64, u64)>(comm, 0, tag(seq, PH_REDUCE_DOWN))
+            self.send_raw(comm, 0, tag(seq, PH_REDUCE_UP), value);
+            self.recv_raw::<(f64, u64)>(comm, 0, tag(seq, PH_REDUCE_DOWN))
         }
     }
 }
@@ -247,7 +247,7 @@ impl<T: Send + Sync + 'static> PendingOp for PendingBcast<T> {
             (self.value.expect("root payload present"), self.bytes)
         } else {
             let (v, b) =
-                rank.recv::<(Arc<T>, u64)>(&self.comm, self.root, tag(self.seq, PH_DATA));
+                rank.recv_raw::<(Arc<T>, u64)>(&self.comm, self.root, tag(self.seq, PH_DATA));
             (v, b as usize)
         };
         let (max_post, _) = rank.reduce_post_max(&self.comm, self.seq, (self.posted_at, 0));
@@ -269,7 +269,7 @@ impl<T: Send + 'static> PendingOp for PendingAlltoallv<T> {
         let mut recv_bytes = 0u64;
         for (i, slot) in out.iter_mut().enumerate() {
             if i != me {
-                let (part, b) = rank.recv::<(T, u64)>(&self.comm, i, tag(self.seq, PH_DATA));
+                let (part, b) = rank.recv_raw::<(T, u64)>(&self.comm, i, tag(self.seq, PH_DATA));
                 recv_bytes += b;
                 *slot = Some(part);
             }

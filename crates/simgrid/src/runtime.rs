@@ -106,6 +106,17 @@ where
         panic!("rank {i} panicked: {msg}");
     }
 
+    // Violations recorded at exit (orphaned point-to-point sends) don't
+    // panic any rank — the threads have already finished — so a clean join
+    // must still surface them.
+    if let Some(check) = &check {
+        let violations = check.violations();
+        if !violations.is_empty() {
+            let report: Vec<String> = violations.iter().map(ToString::to_string).collect();
+            panic!("{}", report.join("\n"));
+        }
+    }
+
     results
         .into_iter()
         .enumerate()

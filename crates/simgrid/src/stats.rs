@@ -35,6 +35,11 @@ const REPORT_STEPS: [Step; 8] = [
     Step::Wait,
 ];
 
+/// Fetch steps get their own columns (inserted after B-Bcast) as soon as
+/// any row recorded sparse-exchange traffic, so dense-vs-sparse runs stay
+/// comparable at a glance without widening dense-only tables.
+const FETCH_STEPS: [Step; 2] = [Step::FetchRequest, Step::FetchReply];
+
 /// Kernel-side resource counters attached to a report row: how often the
 /// local kernels hit the heap allocator, the workspace scratch high-water
 /// mark, and the exact-size copy-out volume. The simgrid crate knows
@@ -103,6 +108,27 @@ impl StepReport {
         self.rows.iter().any(|(_, b)| b.overlap_total() > 0.0)
     }
 
+    fn has_fetch(&self) -> bool {
+        self.rows.iter().any(|(_, b)| {
+            FETCH_STEPS
+                .iter()
+                .any(|&s| b.secs_of(s) > 0.0 || b.bytes_of(s) > 0)
+        })
+    }
+
+    /// The step columns this report renders: [`REPORT_STEPS`], with the
+    /// Fetch steps spliced in after B-Bcast when any row used them.
+    fn report_steps(&self) -> Vec<Step> {
+        let mut steps = Vec::with_capacity(REPORT_STEPS.len() + FETCH_STEPS.len());
+        for s in REPORT_STEPS {
+            steps.push(s);
+            if s == Step::BBcast && self.has_fetch() {
+                steps.extend(FETCH_STEPS);
+            }
+        }
+        steps
+    }
+
     fn symbolic_secs(b: &StepBreakdown) -> f64 {
         b.secs_of(Step::SymbolicComm) + b.secs_of(Step::SymbolicComp)
     }
@@ -117,8 +143,9 @@ impl StepReport {
             .max()
             .unwrap_or(8)
             .max(8);
+        let report_steps = self.report_steps();
         out.push_str(&format!("{:label_w$}", "config"));
-        for s in REPORT_STEPS {
+        for &s in &report_steps {
             let name = if s == Step::SymbolicComm { "Symbolic" } else { s.label() };
             out.push_str(&format!(" {name:>14}"));
         }
@@ -134,7 +161,7 @@ impl StepReport {
         out.push('\n');
         for ((label, b), cnt) in self.rows.iter().zip(&self.counters) {
             out.push_str(&format!("{label:label_w$}"));
-            for s in REPORT_STEPS {
+            for &s in &report_steps {
                 let v = if s == Step::SymbolicComm {
                     Self::symbolic_secs(b)
                 } else {
@@ -281,6 +308,29 @@ mod tests {
         let csv = r.to_csv();
         let line = csv.lines().find(|l| l.starts_with("overlapped")).unwrap();
         assert!(line.ends_with("2.500000e-1"));
+    }
+
+    #[test]
+    fn fetch_columns_appear_only_with_fetch_traffic() {
+        let mut r = StepReport::new();
+        r.push("dense", bd(1.0, 2.0));
+        let t = r.to_table();
+        assert!(!t.contains("Fetch-Request") && !t.contains("Fetch-Reply"));
+        let mut b = bd(0.5, 2.0);
+        b.secs[Step::FetchRequest as usize] = 0.125;
+        b.bytes[Step::FetchReply as usize] = 4096;
+        r.push("sparse", b);
+        let t = r.to_table();
+        assert!(t.contains("Fetch-Request") && t.contains("Fetch-Reply"));
+        // The columns sit between B-Bcast and Local-Multiply.
+        let header = t.lines().next().unwrap();
+        let bb = header.find("B-Bcast").unwrap();
+        let fr = header.find("Fetch-Request").unwrap();
+        let lm = header.find("Local-Multiply").unwrap();
+        assert!(bb < fr && fr < lm);
+        // CSV always carries the fetch steps (uniform schema).
+        let csv = r.to_csv();
+        assert!(csv.lines().next().unwrap().contains("Fetch-Request"));
     }
 
     #[test]

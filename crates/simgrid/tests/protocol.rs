@@ -148,6 +148,88 @@ fn rank_exiting_without_its_collective_is_a_stall() {
 }
 
 #[test]
+fn duplicate_inflight_send_is_a_tag_collision() {
+    let msg = panic_message(|| {
+        run_ranks_checked(2, Machine::knl(), CheckMode::Check, |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 0 {
+                // Two undelivered sends with the same (comm, tag, dst):
+                // receives match on (source, comm, tag), so delivery order
+                // would be ambiguous.
+                rank.send(&comm, 1, 5, 1u32);
+                rank.send(&comm, 1, 5, 2u32);
+            } else {
+                let _: u32 = rank.recv(&comm, 0, 5);
+                let _: u32 = rank.recv(&comm, 0, 5);
+            }
+        });
+    });
+    assert!(msg.contains("protocol violation [TagCollision]"), "{msg}");
+    assert!(msg.contains("second send"), "{msg}");
+    assert!(msg.contains("tag 5"), "{msg}");
+}
+
+#[test]
+fn receive_with_no_matching_send_is_unmatched() {
+    let msg = panic_message(|| {
+        run_ranks_checked(2, Machine::knl(), CheckMode::Check, |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 0 {
+                rank.send(&comm, 1, 7, 1u32);
+                // Then exit: rank 1's second recv can never complete.
+            } else {
+                let _: u32 = rank.recv(&comm, 0, 7);
+                let _: u32 = rank.recv(&comm, 0, 8);
+            }
+        });
+    });
+    assert!(msg.contains("protocol violation [UnmatchedRecv]"), "{msg}");
+    assert!(msg.contains("rank 1 in recv from rank 0"), "{msg}");
+    assert!(msg.contains("tag 8"), "{msg}");
+}
+
+#[test]
+fn send_never_received_is_an_orphan() {
+    let msg = panic_message(|| {
+        run_ranks_checked(2, Machine::knl(), CheckMode::Check, |rank| {
+            let comm = rank.world_comm();
+            if rank.rank() == 0 {
+                rank.send(&comm, 1, 9, 42u32);
+            }
+            // Rank 1 never receives; both ranks exit cleanly.
+        });
+    });
+    assert!(msg.contains("protocol violation [OrphanedSend]"), "{msg}");
+    assert!(msg.contains("rank 0 sent to rank 1"), "{msg}");
+    assert!(msg.contains("never received"), "{msg}");
+}
+
+#[test]
+fn well_formed_point_to_point_passes_under_check_mode() {
+    // Exercises ordinary matched sends and self-sends. Each round uses its
+    // own tag: reusing a tag toward the same peer is only legal once the
+    // first delivery is known complete, which unsynchronized SPMD rounds
+    // cannot guarantee.
+    let results = run_ranks_checked(4, Machine::knl(), CheckMode::Check, |rank| {
+        let comm = rank.world_comm();
+        let me = rank.rank();
+        let right = (me + 1) % 4;
+        let left = (me + 3) % 4;
+        rank.send(&comm, right, 11, me as u64);
+        let from_left: u64 = rank.recv(&comm, left, 11);
+        rank.send(&comm, right, 13, from_left);
+        let second: u64 = rank.recv(&comm, left, 13);
+        // Self-send, as transpose_to_bstyle does on the diagonal.
+        rank.send(&comm, me, 12, second);
+        rank.recv::<u64>(&comm, me, 12)
+    });
+    assert_eq!(results.len(), 4);
+    for (me, &got) in results.iter().enumerate() {
+        assert_eq!(got as usize, (me + 2) % 4);
+    }
+}
+
+#[test]
 fn well_formed_program_passes_under_check_mode() {
     let results = run_ranks_checked(4, Machine::knl(), CheckMode::Check, |rank| {
         let comm = rank.world_comm();

@@ -38,6 +38,7 @@ pub mod merge;
 pub mod ops;
 pub mod semiring;
 pub mod spgemm;
+pub mod subset;
 pub mod triples;
 pub mod validate;
 

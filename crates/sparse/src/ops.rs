@@ -14,12 +14,18 @@ use std::ops::Range;
 /// The `k`-th of `parts` contiguous index blocks of `0..n`, with the
 /// remainder spread over the first `n % parts` blocks (CombBLAS-style
 /// balanced block distribution).
+///
+/// Degenerate splits are well-defined: when `n < parts` the first `n`
+/// blocks hold one element each and the rest are empty (`n..n`), so
+/// over-partitioned grids see empty-but-in-bounds ranges rather than
+/// panics.
 pub fn block_range(n: usize, parts: usize, k: usize) -> Range<usize> {
     assert!(k < parts, "block index {k} out of {parts}");
     let base = n / parts;
     let rem = n % parts;
     let start = k * base + k.min(rem);
     let len = base + usize::from(k < rem);
+    debug_assert!(start + len <= n, "block_range({n}, {parts}, {k}) escapes 0..{n}");
     start..start + len
 }
 
@@ -372,6 +378,26 @@ mod tests {
                 }
                 assert_eq!(seen, n);
                 assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_degenerate_more_parts_than_elements() {
+        // n < parts: the first n blocks get one element, the rest are
+        // empty ranges pinned at n (never out of bounds, never panicking).
+        for n in [0usize, 1, 3] {
+            for parts in [4usize, 7, 16] {
+                for k in 0..parts {
+                    let r = block_range(n, parts, k);
+                    assert!(r.end <= n, "n={n} parts={parts} k={k}: {r:?}");
+                    if k < n {
+                        assert_eq!(r.len(), 1, "n={n} parts={parts} k={k}");
+                    } else {
+                        assert!(r.is_empty(), "n={n} parts={parts} k={k}: {r:?}");
+                        assert_eq!(r.start, n);
+                    }
+                }
             }
         }
     }
