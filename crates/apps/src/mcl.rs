@@ -240,6 +240,7 @@ fn mcl_iteration(
             merge_schedule: Default::default(),
             overlap: Default::default(),
             exchange: Default::default(),
+            backend: Default::default(),
         };
         let grid_ref = &grid;
         let result = batched_summa3d::<PlusTimesF64>(rank, &grid, &da, &db, &cfg, |rank, out| {

@@ -12,7 +12,7 @@
 //! measured below alongside the modeled numbers.
 
 use spgemm_bench::{measure_f64, workloads, write_csv};
-use spgemm_core::{KernelStrategy, RunConfig};
+use spgemm_core::{BackendKind, KernelStrategy, RunConfig};
 use spgemm_simgrid::{KernelCounters, StepReport};
 use spgemm_sparse::semiring::PlusTimesF64;
 use std::time::Instant;
@@ -26,7 +26,7 @@ fn main() {
         a.nnz()
     );
     let mut report = StepReport::new();
-    let mut csv = String::from("p,kernels,comp_s,comm_s,total_s\n");
+    let mut csv = String::from("p,kernels,backend,comp_s,comm_s,total_s,load_imbalance\n");
     for p in [16usize, 256] {
         let mut rows = Vec::new();
         for kernels in [KernelStrategy::Previous, KernelStrategy::New] {
@@ -41,10 +41,11 @@ fn main() {
                     allocs: out.kernel_stats.allocs,
                     peak_scratch_bytes: out.kernel_stats.peak_scratch_bytes,
                     memcpy_bytes: out.kernel_stats.memcpy_bytes,
+                    load_imbalance: out.load_balance.imbalance(),
                 },
             );
             csv.push_str(&format!(
-                "{p},{},{:.6e},{:.6e},{:.6e}\n",
+                "{p},{},simgrid,{:.6e},{:.6e},{:.6e},\n",
                 kernels.name(),
                 out.max.comp_total(),
                 out.max.comm_total(),
@@ -58,6 +59,36 @@ fn main() {
             rows[0].comp_total() / rows[1].comp_total(),
             rows[0].comm_total() / rows[1].comm_total().max(1e-12)
         );
+    }
+    // Native-backend rows: the same pipeline with genuinely multithreaded
+    // kernels; compute seconds below are measured wall-clock, and the
+    // Imbal column reports the per-thread max/mean work ratio of the
+    // flop-balanced column ranges.
+    let native_threads = 4usize;
+    for kernels in [KernelStrategy::Previous, KernelStrategy::New] {
+        let mut cfg = RunConfig::new(16, 4);
+        cfg.kernels = kernels;
+        cfg.forced_batches = Some(1);
+        cfg.backend = BackendKind::Native { threads: native_threads };
+        let out = measure_f64(&cfg, &a, &a);
+        report.push_with_counters(
+            format!("p=16 {} native t={native_threads}", kernels.name()),
+            out.max,
+            KernelCounters {
+                allocs: out.kernel_stats.allocs,
+                peak_scratch_bytes: out.kernel_stats.peak_scratch_bytes,
+                memcpy_bytes: out.kernel_stats.memcpy_bytes,
+                load_imbalance: out.load_balance.imbalance(),
+            },
+        );
+        csv.push_str(&format!(
+            "16,{},native,{:.6e},{:.6e},{:.6e},{:.4}\n",
+            kernels.name(),
+            out.max.comp_total(),
+            out.max.comm_total(),
+            out.max.total(),
+            out.load_balance.imbalance()
+        ));
     }
     println!("\n{}", report.to_table());
 

@@ -6,6 +6,7 @@
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--layers L | --auto] [--batches B | --budget-mb M]
 //!                 [--kernels new|previous] [--exchange dense|sparse]
+//!                 [--backend simgrid|native] [--threads N]
 //!                 [--machine knl|haswell|knl-mini|knl-ht]
 //!                 [--profile PROFILE.json] [--calibrate-out PROFILE.json]
 //!                 [--batching cyclic|block|balanced] [--overlap] [--check]
@@ -22,6 +23,12 @@
 //! `plan` prints the planner's ranked candidate report and runs nothing;
 //! `multiply --auto` plans and then runs the winner. `--profile` loads
 //! calibrated machine constants written by `--calibrate-out`.
+//!
+//! `--backend native` runs the local kernels for real on `--threads N` OS
+//! threads (default: all available cores) and charges their **measured**
+//! wall-clock seconds to the per-step report; communication stays modeled.
+//! Combining `--backend native` with `--calibrate-out` fits a machine
+//! profile from the measured kernel times of the run.
 
 #![forbid(unsafe_code)]
 
@@ -34,7 +41,8 @@ use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
 use spgemm_core::planner::{self, CalibrationInput, MachineProfile, PlannerConfig, ProbeConfig};
 use spgemm_core::{
-    run_spgemm, ExchangeMode, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode, RunConfig,
+    run_spgemm, BackendKind, ExchangeMode, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode,
+    RunConfig,
 };
 use spgemm_simgrid::CheckMode;
 use spgemm_simgrid::{Machine, StepReport};
@@ -194,6 +202,35 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     if let Some(x) = args.opt("exchange") {
         cfg.exchange = ExchangeMode::parse(x)?;
     }
+    match args.opt("backend") {
+        Some("native") => {
+            cfg.backend = BackendKind::Native {
+                threads: match args.opt("threads") {
+                    Some(t) => t.parse().map_err(|_| "bad --threads")?,
+                    None => BackendKind::available_threads(),
+                },
+            };
+        }
+        Some("simgrid") => {
+            cfg.backend = BackendKind::Simgrid;
+            if args.opt("threads").is_some() {
+                return Err("--threads requires --backend native".into());
+            }
+        }
+        None => {
+            // cfg.backend already honours SPGEMM_BACKEND via default_kind.
+            if let Some(t) = args.opt("threads") {
+                if matches!(cfg.backend, BackendKind::Native { .. }) {
+                    cfg.backend = BackendKind::Native {
+                        threads: t.parse().map_err(|_| "bad --threads")?,
+                    };
+                } else {
+                    return Err("--threads requires --backend native".into());
+                }
+            }
+        }
+        Some(other) => return Err(format!("unknown backend: {other}")),
+    }
     cfg.batching = match args.opt("batching").unwrap_or("cyclic") {
         "cyclic" => BatchingStrategy::BlockCyclic,
         "block" => BatchingStrategy::Block,
@@ -244,7 +281,16 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     }
     let mut report = StepReport::new();
     report.push(format!("p={p} l={layers} b={}", out.nbatches), out.max);
-    println!("\nmodeled per-step seconds (max over processes):\n{}", report.to_table());
+    if let BackendKind::Native { threads } = cfg.backend {
+        println!(
+            "\nbackend: native ({threads} kernel thread(s)/process, per-thread load \
+             imbalance {:.2}); kernel seconds below are measured, communication modeled:\n{}",
+            out.load_balance.imbalance(),
+            report.to_table()
+        );
+    } else {
+        println!("\nmodeled per-step seconds (max over processes):\n{}", report.to_table());
+    }
     if args.flag("verify") {
         let (reference, _) = spgemm_spa::<PlusTimesF64>(&a, &b).map_err(|e| e.to_string())?;
         if c.approx_eq(&reference, 1e-9) {
@@ -263,6 +309,10 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
             layers,
             per_rank: &out.per_rank,
             total_work_units: Some(out.kernel_stats.work_units),
+            threads: match cfg.backend {
+                BackendKind::Native { threads } => Some(threads),
+                BackendKind::Simgrid => None,
+            },
         };
         let profile = planner::calibrate(&cfg.machine, &input);
         profile

@@ -1,0 +1,182 @@
+//! Execution backends: modeled-clock simulation vs real multithreaded
+//! kernels.
+//!
+//! Every compute step in the distributed pipeline funnels through a
+//! [`Backend`], which decides what "running a local kernel" means:
+//!
+//! * [`SimgridBackend`] — the paper-reproduction default. Kernels run
+//!   serially and the rank's clock advances by *modeled* seconds
+//!   (`work_units · secs_per_work_unit / thread_scale`, the α–β machine
+//!   model of `spgemm-simgrid`).
+//! * [`NativeBackend`] — kernels run genuinely multithreaded (the
+//!   column-range parallel wrappers in `spgemm_sparse::par`, one
+//!   [`SpGemmWorkspace`](spgemm_sparse::SpGemmWorkspace) arena per
+//!   thread) and the rank's clock advances by the *measured* wall-clock
+//!   seconds of the call.
+//!
+//! Both paths report through the same `StepReport`/`StepBreakdown`
+//! machinery, so a measured Native run and a modeled Simgrid run of the
+//! same configuration produce directly comparable tables — that is the
+//! measured-vs-modeled contract the planner's calibrator exploits to fit
+//! a [`MachineProfile`](crate::planner::MachineProfile) from a real run.
+//!
+//! Communication is always modeled: the virtual cluster's collectives have
+//! no physical counterpart in-process. Only the compute columns
+//! (`Local-Multiply`, `Merge-Layer`, `Merge-Fiber`, symbolic compute)
+//! switch between modeled and measured.
+
+use spgemm_simgrid::{Rank, Step};
+use spgemm_sparse::WorkStats;
+
+/// Which backend executes local kernels — the plumbable configuration
+/// value carried by `RunConfig`/`BatchConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Serial kernels, modeled clock (the default).
+    #[default]
+    Simgrid,
+    /// Multithreaded kernels, measured wall-clock times.
+    Native {
+        /// Kernel threads per simulated rank. `1` still measures real
+        /// time but runs the serial kernel path.
+        threads: usize,
+    },
+}
+
+impl BackendKind {
+    /// Short name for CLI/report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Simgrid => "simgrid",
+            BackendKind::Native { .. } => "native",
+        }
+    }
+
+    /// Kernel threads per rank this backend runs (1 for Simgrid).
+    pub fn threads(self) -> usize {
+        match self {
+            BackendKind::Simgrid => 1,
+            BackendKind::Native { threads } => threads.max(1),
+        }
+    }
+
+    /// The default backend: the `SPGEMM_BACKEND` environment variable if
+    /// set (`native` selects [`BackendKind::Native`] with `SPGEMM_THREADS`
+    /// threads, or the machine's available parallelism when unset),
+    /// otherwise [`BackendKind::Simgrid`]. Mirrors how `SPGEMM_CHECK`
+    /// drives `CheckMode`, and lets CI run the existing integration suites
+    /// on the Native backend without touching their code.
+    pub fn default_kind() -> Self {
+        match std::env::var("SPGEMM_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("native") => BackendKind::Native {
+                threads: std::env::var("SPGEMM_THREADS")
+                    .ok()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(Self::available_threads),
+            },
+            _ => BackendKind::Simgrid,
+        }
+    }
+
+    /// The host's available parallelism (1 when undetectable).
+    pub fn available_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Materialize the backend implementation.
+    pub fn to_backend(self) -> Box<dyn Backend> {
+        match self {
+            BackendKind::Simgrid => Box::new(SimgridBackend),
+            BackendKind::Native { threads } => Box::new(NativeBackend {
+                threads: threads.max(1),
+            }),
+        }
+    }
+}
+
+/// How a completed kernel invocation is charged to the rank's clock.
+///
+/// Implementations receive both the kernel's [`WorkStats`] and the
+/// measured elapsed seconds of the call and pick which enters the step
+/// breakdown. Output correctness is backend-independent: the kernels are
+/// bit-identical serial vs parallel, so switching backends changes only
+/// the reported times (and real runtime).
+pub trait Backend: std::fmt::Debug + Send {
+    /// The configuration value this backend was built from.
+    fn kind(&self) -> BackendKind;
+
+    /// Kernel threads per rank.
+    fn threads(&self) -> usize {
+        self.kind().threads()
+    }
+
+    /// Charge one finished kernel invocation to `rank`'s clock under
+    /// `step`.
+    fn charge(&self, rank: &mut Rank, step: Step, stats: &WorkStats, measured_secs: f64);
+}
+
+/// Modeled-clock backend: charges `stats.work_units` through the machine
+/// model; the measured duration is ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimgridBackend;
+
+impl Backend for SimgridBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simgrid
+    }
+
+    fn charge(&self, rank: &mut Rank, step: Step, stats: &WorkStats, _measured_secs: f64) {
+        rank.compute(step, stats.work_units);
+    }
+}
+
+/// Real-parallelism backend: charges the measured wall-clock seconds of
+/// the (multithreaded) kernel call; the modeled work units are ignored
+/// for timing but still accumulate in the kernel totals.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeBackend {
+    /// Kernel threads per rank.
+    pub threads: usize,
+}
+
+impl Backend for NativeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Native {
+            threads: self.threads,
+        }
+    }
+
+    fn charge(&self, rank: &mut Rank, step: Step, _stats: &WorkStats, measured_secs: f64) {
+        rank.compute_measured(step, measured_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_threads() {
+        assert_eq!(BackendKind::Simgrid.name(), "simgrid");
+        assert_eq!(BackendKind::Simgrid.threads(), 1);
+        let n = BackendKind::Native { threads: 4 };
+        assert_eq!(n.name(), "native");
+        assert_eq!(n.threads(), 4);
+        assert_eq!(BackendKind::Native { threads: 0 }.threads(), 1);
+        assert_eq!(BackendKind::default(), BackendKind::Simgrid);
+    }
+
+    #[test]
+    fn default_kind_without_env_is_simgrid() {
+        if std::env::var("SPGEMM_BACKEND").is_err() {
+            assert_eq!(BackendKind::default_kind(), BackendKind::Simgrid);
+        }
+    }
+
+    #[test]
+    fn to_backend_round_trips_kind() {
+        for kind in [BackendKind::Simgrid, BackendKind::Native { threads: 3 }] {
+            assert_eq!(kind.to_backend().kind(), kind);
+        }
+    }
+}

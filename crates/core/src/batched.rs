@@ -10,6 +10,7 @@
 //! persist, transform, or discard it before the next batch begins — the
 //! HipMCL/BELLA/hypergraph-coarsening usage pattern the paper targets.
 
+use crate::backend::BackendKind;
 use crate::dist::{CPiece, DistMatrix};
 use crate::exchange::{ExchangeMode, ExchangePlan};
 use crate::kernels::{KernelStrategy, LocalKernels};
@@ -20,6 +21,7 @@ use crate::symbolic::{symbolic3d_with_weights, SymbolicOutcome};
 use crate::{CoreError, Result};
 use spgemm_simgrid::{Grid3D, Rank, Step};
 use spgemm_sparse::ops::{block_range, cyclic_batch_cols, extract_cols};
+use spgemm_sparse::par::RangeBalance;
 use spgemm_sparse::{Semiring, WorkStats};
 use std::sync::Arc;
 
@@ -63,6 +65,10 @@ pub struct BatchConfig {
     /// How stage operands move (dense broadcast vs sparsity-aware fetch;
     /// see [`crate::exchange`]).
     pub exchange: ExchangeMode,
+    /// How local kernels execute and how their time enters the clock:
+    /// modeled (`Simgrid`, default) or real multithreaded with measured
+    /// wall-clock times (`Native`); see [`crate::backend`].
+    pub backend: BackendKind,
 }
 
 impl Default for BatchConfig {
@@ -75,6 +81,7 @@ impl Default for BatchConfig {
             merge_schedule: MergeSchedule::AfterAllStages,
             overlap: OverlapMode::Blocking,
             exchange: ExchangeMode::DenseBcast,
+            backend: BackendKind::Simgrid,
         }
     }
 }
@@ -119,6 +126,10 @@ pub struct BatchedResult<T: Copy> {
     /// [`LocalKernels`] engine, so `allocs` directly measures how much the
     /// workspace reuse avoided the allocator.
     pub kernel_stats: WorkStats,
+    /// Per-thread load balance of the parallel kernel calls under a
+    /// `Native` multi-thread backend (default/zero when kernels ran
+    /// serially).
+    pub load_balance: RangeBalance,
 }
 
 /// One batch's local column selection: the column indices plus the
@@ -232,8 +243,9 @@ pub fn batched_summa3d<S: Semiring>(
     let r = cfg.budget.r;
     // One kernel engine for the whole run: the symbolic sweep warms its
     // accumulator and every batch's multiplies and merges reuse the same
-    // scratch, so steady-state batches run allocation-free.
-    let mut kernels = LocalKernels::new(cfg.kernels);
+    // scratch, so steady-state batches run allocation-free. The backend
+    // decides serial-modeled vs multithreaded-measured execution.
+    let mut kernels = LocalKernels::with_backend(cfg.kernels, cfg.backend);
     // One exchange plan for the whole run: the symbolic sweep and every
     // batch share its fetch workspace and tag counter.
     let mut plan = ExchangePlan::new(cfg.exchange);
@@ -376,6 +388,7 @@ pub fn batched_summa3d<S: Semiring>(
         symbolic,
         peak_bytes: mem.peak(),
         kernel_stats: kernels.totals(),
+        load_balance: kernels.balance(),
     })
 }
 

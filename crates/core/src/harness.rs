@@ -5,6 +5,7 @@
 //! per-rank step breakdowns and (optionally) the assembled product. This
 //! module packages that as [`run_spgemm`].
 
+use crate::backend::BackendKind;
 use crate::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
 use crate::exchange::ExchangeMode;
 use crate::summa2d::{MergeSchedule, OverlapMode};
@@ -16,6 +17,7 @@ use crate::planner::{self, PlanReport, PlannerConfig};
 use crate::symbolic::SymbolicOutcome;
 use crate::{CoreError, Result};
 use spgemm_simgrid::{max_breakdown, run_ranks_checked, CheckMode, Grid3D, Machine, StepBreakdown};
+use spgemm_sparse::par::RangeBalance;
 use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
 
@@ -67,6 +69,11 @@ pub struct RunConfig {
     /// [`CheckMode::default_mode`]: on in debug builds and whenever
     /// `SPGEMM_CHECK` enables it, off in release runs.
     pub check: CheckMode,
+    /// Kernel execution backend: modeled clock (`Simgrid`) or real
+    /// multithreaded kernels with measured times (`Native`). Defaults to
+    /// [`BackendKind::default_kind`]: `Simgrid` unless `SPGEMM_BACKEND`
+    /// selects otherwise.
+    pub backend: BackendKind,
 }
 
 impl RunConfig {
@@ -87,6 +94,7 @@ impl RunConfig {
             overlap: OverlapMode::Blocking,
             exchange: ExchangeMode::DenseBcast,
             check: CheckMode::default_mode(),
+            backend: BackendKind::default_kind(),
         }
     }
 
@@ -159,6 +167,10 @@ pub struct RunOutput<T: Copy> {
     /// memcpy bytes are summed, peak scratch bytes is the max over ranks
     /// (each rank owns one workspace).
     pub kernel_stats: WorkStats,
+    /// Per-thread load-balance record aggregated over all ranks; only
+    /// populated by the Native backend (serial/Simgrid runs leave it at
+    /// the zero default, whose `imbalance()` reports 0.0).
+    pub load_balance: RangeBalance,
 }
 
 struct PerRank<T: Copy> {
@@ -169,6 +181,7 @@ struct PerRank<T: Copy> {
     c: Option<CscMatrix<T>>,
     events: Option<Vec<spgemm_simgrid::TraceEvent>>,
     kernel_stats: WorkStats,
+    load_balance: RangeBalance,
 }
 
 /// Multiply `a · b` on a simulated `p`-rank cluster per `cfg`.
@@ -221,6 +234,7 @@ pub fn run_spgemm<S: Semiring>(
             merge_schedule: cfg_copy.merge_schedule,
             overlap: cfg_copy.overlap,
             exchange: cfg_copy.exchange,
+            backend: cfg_copy.backend,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
@@ -243,6 +257,7 @@ pub fn run_spgemm<S: Semiring>(
             c,
             events: rank.clock().events().map(|e| e.to_vec()),
             kernel_stats: result.kernel_stats,
+            load_balance: result.load_balance,
         })
     });
 
@@ -290,6 +305,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             merge_schedule: cfg_copy.merge_schedule,
             overlap: cfg_copy.overlap,
             exchange: cfg_copy.exchange,
+            backend: cfg_copy.backend,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
@@ -312,6 +328,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             c,
             events: rank.clock().events().map(|e| e.to_vec()),
             kernel_stats: result.kernel_stats,
+            load_balance: result.load_balance,
         })
     });
 
@@ -350,12 +367,14 @@ fn collect_outputs<T: Copy>(
     let mut symbolic = None;
     let mut traces = cfg.trace.then(Vec::new);
     let mut kernel_stats = WorkStats::default();
+    let mut load_balance = RangeBalance::default();
     for (i, r) in results.into_iter().enumerate() {
         let r = r?;
         per_rank.push(r.breakdown);
         peaks.push(r.peak);
         nbatches = r.nbatches;
         kernel_stats.merge(r.kernel_stats);
+        load_balance.merge(r.load_balance);
         if i == 0 {
             symbolic = r.symbolic;
             c = r.c;
@@ -376,6 +395,7 @@ fn collect_outputs<T: Copy>(
         peak_bytes: peaks,
         traces,
         kernel_stats,
+        load_balance,
     })
 }
 

@@ -8,15 +8,22 @@
 //! pieces. Under `Previous` every intermediate stays sorted; under `New`
 //! only the final Merge-Fiber output is sorted.
 
+use crate::backend::{Backend, BackendKind};
+use spgemm_simgrid::{Rank, Step};
 use spgemm_sparse::merge::{
     merge_hash_sorted, merge_hash_sorted_with_workspace, merge_hash_unsorted,
     merge_hash_unsorted_with_workspace, merge_heap, merge_heap_with_workspace,
+};
+use spgemm_sparse::par::{
+    par_merge_hash_sorted, par_merge_hash_unsorted, par_merge_heap, par_spgemm_hash_unsorted,
+    par_spgemm_hybrid, par_symbolic_col_counts, RangeBalance,
 };
 use spgemm_sparse::spgemm::{
     spgemm_hash_unsorted, spgemm_hash_unsorted_with_workspace, spgemm_hybrid,
     spgemm_hybrid_with_workspace, symbolic_col_counts_with_workspace,
 };
 use spgemm_sparse::{CscMatrix, Semiring, Sortedness, SpGemmWorkspace, WorkStats};
+use std::time::Instant;
 
 /// Which local-kernel generation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,16 +101,32 @@ impl KernelStrategy {
 /// Also accumulates the per-rank [`WorkStats`] totals — flops, output nnz,
 /// work units, and the workspace's allocation/byte counters — which the
 /// harness surfaces in reports.
+///
+/// The engine is also bound to a [`Backend`]: under the default
+/// `Simgrid` backend kernels run serially and ranks are charged modeled
+/// work units; under `Native` with more than one thread the `run_*`
+/// methods dispatch to the column-range parallel kernels of
+/// [`spgemm_sparse::par`] — each thread owning one workspace from
+/// `thread_workspaces` — and ranks are charged the measured wall-clock
+/// seconds. Output is bit-identical either way.
 pub struct LocalKernels<T: Copy> {
     strategy: KernelStrategy,
+    backend: Box<dyn Backend>,
     workspace: SpGemmWorkspace<T>,
+    /// Per-thread arenas for the parallel path; empty unless the backend
+    /// runs more than one kernel thread. Each workspace is owned by
+    /// exactly one thread for the duration of a kernel call (the ranges
+    /// are disjoint, so no sharing, no locking).
+    thread_workspaces: Vec<SpGemmWorkspace<T>>,
     totals: WorkStats,
+    balance: RangeBalance,
 }
 
 impl<T: Copy> std::fmt::Debug for LocalKernels<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalKernels")
             .field("strategy", &self.strategy)
+            .field("backend", &self.backend)
             .field("totals", &self.totals)
             .finish_non_exhaustive()
     }
@@ -111,12 +134,25 @@ impl<T: Copy> std::fmt::Debug for LocalKernels<T> {
 
 impl<T: Copy> LocalKernels<T> {
     /// Fresh engine for one rank; scratch starts empty and warms up over
-    /// the first stages.
+    /// the first stages. Runs the default modeled-clock backend.
     pub fn new(strategy: KernelStrategy) -> Self {
+        Self::with_backend(strategy, BackendKind::Simgrid)
+    }
+
+    /// Fresh engine bound to an explicit backend.
+    pub fn with_backend(strategy: KernelStrategy, kind: BackendKind) -> Self {
+        let threads = kind.threads();
         LocalKernels {
             strategy,
+            backend: kind.to_backend(),
             workspace: SpGemmWorkspace::new(),
+            thread_workspaces: if threads > 1 {
+                (0..threads).map(|_| SpGemmWorkspace::new()).collect()
+            } else {
+                Vec::new()
+            },
             totals: WorkStats::default(),
+            balance: RangeBalance::default(),
         }
     }
 
@@ -125,14 +161,30 @@ impl<T: Copy> LocalKernels<T> {
         self.strategy
     }
 
+    /// The backend configuration this engine runs under.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
     /// Accumulated stats over every kernel invocation so far.
     pub fn totals(&self) -> WorkStats {
         self.totals
     }
 
+    /// Accumulated per-thread load balance of the parallel kernel calls
+    /// (default/empty when kernels ran serially).
+    pub fn balance(&self) -> RangeBalance {
+        self.balance
+    }
+
     /// The reusable scratch (for capacity/footprint diagnostics).
     pub fn workspace(&self) -> &SpGemmWorkspace<T> {
         &self.workspace
+    }
+
+    /// True when the `run_*` methods dispatch to the parallel kernels.
+    fn parallel(&self) -> bool {
+        self.thread_workspaces.len() > 1
     }
 
     /// Local-Multiply through the shared workspace.
@@ -212,6 +264,132 @@ impl<T: Copy> LocalKernels<T> {
     ) -> spgemm_sparse::Result<(Vec<u64>, WorkStats)> {
         let (counts, stats) = symbolic_col_counts_with_workspace(a, b, &mut self.workspace)?;
         self.totals.merge(stats);
+        Ok((counts, stats))
+    }
+
+    /// Local-Multiply under the backend: runs the kernel (parallel when
+    /// the backend has threads) and charges `rank`'s clock — modeled work
+    /// units or measured seconds, per the backend.
+    pub fn run_local_multiply<S: Semiring<T = T>>(
+        &mut self,
+        rank: &mut Rank,
+        a: &CscMatrix<T>,
+        b: &CscMatrix<T>,
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let t0 = Instant::now();
+        let (c, stats) = if self.parallel() {
+            let (c, stats, bal) = match self.strategy {
+                KernelStrategy::Previous => {
+                    par_spgemm_hybrid::<S>(a, b, &mut self.thread_workspaces)?
+                }
+                KernelStrategy::New => {
+                    par_spgemm_hash_unsorted::<S>(a, b, &mut self.thread_workspaces)?
+                }
+            };
+            spgemm_sparse::debug_validate!(
+                c,
+                self.strategy.intermediate_sortedness(),
+                "parallel Local-Multiply output ({})",
+                self.strategy.name()
+            );
+            self.balance.merge(bal);
+            self.totals.merge(stats);
+            (c, stats)
+        } else {
+            self.local_multiply::<S>(a, b)?
+        };
+        self.backend.charge(rank, Step::LocalMultiply, &stats, t0.elapsed().as_secs_f64());
+        Ok((c, stats))
+    }
+
+    /// Merge-Layer under the backend; see [`Self::run_local_multiply`].
+    pub fn run_merge_layer<S: Semiring<T = T>>(
+        &mut self,
+        rank: &mut Rank,
+        parts: &[CscMatrix<T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let t0 = Instant::now();
+        let (c, stats) = if self.parallel() {
+            let (c, stats, bal) = match self.strategy {
+                KernelStrategy::Previous => {
+                    par_merge_heap::<S>(parts, &mut self.thread_workspaces)?
+                }
+                KernelStrategy::New => {
+                    par_merge_hash_unsorted::<S>(parts, &mut self.thread_workspaces)?
+                }
+            };
+            spgemm_sparse::debug_validate!(
+                c,
+                self.strategy.intermediate_sortedness(),
+                "parallel Merge-Layer output ({}, {} parts)",
+                self.strategy.name(),
+                parts.len()
+            );
+            self.balance.merge(bal);
+            self.totals.merge(stats);
+            (c, stats)
+        } else {
+            self.merge_layer::<S>(parts)?
+        };
+        self.backend.charge(rank, Step::MergeLayer, &stats, t0.elapsed().as_secs_f64());
+        Ok((c, stats))
+    }
+
+    /// Merge-Fiber under the backend (sorted output); see
+    /// [`Self::run_local_multiply`].
+    pub fn run_merge_fiber<S: Semiring<T = T>>(
+        &mut self,
+        rank: &mut Rank,
+        parts: &[CscMatrix<T>],
+    ) -> spgemm_sparse::Result<(CscMatrix<T>, WorkStats)> {
+        let t0 = Instant::now();
+        let (c, stats) = if self.parallel() {
+            let (c, stats, bal) = match self.strategy {
+                KernelStrategy::Previous => {
+                    par_merge_heap::<S>(parts, &mut self.thread_workspaces)?
+                }
+                KernelStrategy::New => {
+                    par_merge_hash_sorted::<S>(parts, &mut self.thread_workspaces)?
+                }
+            };
+            spgemm_sparse::debug_validate!(
+                c,
+                Sortedness::Sorted,
+                "parallel Merge-Fiber output ({}, {} parts)",
+                self.strategy.name(),
+                parts.len()
+            );
+            self.balance.merge(bal);
+            self.totals.merge(stats);
+            (c, stats)
+        } else {
+            self.merge_fiber::<S>(parts)?
+        };
+        self.backend.charge(rank, Step::MergeFiber, &stats, t0.elapsed().as_secs_f64());
+        Ok((c, stats))
+    }
+
+    /// `LocalSymbolic` under the backend, charged as symbolic compute;
+    /// see [`Self::run_local_multiply`].
+    pub fn run_symbolic_col_counts(
+        &mut self,
+        rank: &mut Rank,
+        a: &CscMatrix<T>,
+        b: &CscMatrix<T>,
+    ) -> spgemm_sparse::Result<(Vec<u64>, WorkStats)>
+    where
+        T: Send + Sync,
+    {
+        let t0 = Instant::now();
+        let (counts, stats) = if self.parallel() {
+            let (counts, stats, bal) = par_symbolic_col_counts(a, b, &mut self.thread_workspaces)?;
+            self.balance.merge(bal);
+            self.totals.merge(stats);
+            (counts, stats)
+        } else {
+            self.symbolic_col_counts(a, b)?
+        };
+        self.backend.charge(rank, Step::SymbolicComp, &stats, t0.elapsed().as_secs_f64());
         Ok((counts, stats))
     }
 }

@@ -18,7 +18,8 @@
 //!   of `B`/`C`, one SUMMA3D per batch, per-batch delivery to the
 //!   application (prune / persist / discard — the HipMCL pattern).
 //!
-//! Supporting modules: [`dist`] (the paper's Fig. 1 3D data distribution,
+//! Supporting modules: [`backend`] (modeled-clock vs real-multithreaded
+//! kernel execution), [`dist`] (the paper's Fig. 1 3D data distribution,
 //! with scatter/gather for testing), [`exchange`] (the pluggable
 //! stage-operand movement layer: dense broadcasts vs sparsity-aware
 //! point-to-point fetch), [`kernels`] (the *previous* vs *new*
@@ -29,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod batched;
 pub mod dist;
 pub mod exchange;
@@ -41,6 +43,7 @@ pub mod summa2d;
 pub mod summa3d;
 pub mod symbolic;
 
+pub use backend::{Backend, BackendKind, NativeBackend, SimgridBackend};
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
 pub use exchange::{ExchangeMode, ExchangePlan};

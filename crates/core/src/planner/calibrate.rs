@@ -155,6 +155,13 @@ pub struct CalibrationInput<'a> {
     /// planner's prediction for the executed configuration). `None` keeps
     /// the base machine's flop rate.
     pub total_work_units: Option<f64>,
+    /// Thread count of a Native-backend run, when the breakdowns carry
+    /// **measured** kernel seconds. The fitted profile then describes the
+    /// real machine: `threads_per_proc` is set to this count (efficiency
+    /// 1.0 — the measured seconds already include any threading loss).
+    /// `None` for modeled (Simgrid) runs: the base machine's threading
+    /// parameters are kept and divided back out of the compute seconds.
+    pub threads: Option<usize>,
 }
 
 fn mean(per_rank: &[StepBreakdown], f: impl Fn(&StepBreakdown) -> f64) -> f64 {
@@ -213,13 +220,21 @@ pub fn calibrate(base: &Machine, input: &CalibrationInput) -> MachineProfile {
         _ => {} // no broadcast signal at all: keep base α, β
     }
 
+    if let Some(threads) = input.threads {
+        // Measured run: the profile's threading parameters describe the
+        // real execution, not the base model's assumption.
+        profile.threads_per_proc = threads.max(1);
+        profile.thread_efficiency = 1.0;
+    }
     if let Some(work) = input.total_work_units {
         let comp = mean(input.per_rank, |b| b.comp_total());
         let per_proc_work = work / input.p.max(1) as f64;
         if comp > 0.0 && per_proc_work > 0.0 {
-            profile.secs_per_work_unit = comp
-                * (base.threads_per_proc as f64 * base.thread_efficiency)
-                / per_proc_work;
+            // comp = spu · (work/p) / thread_scale  =>  solve for spu. For
+            // measured runs thread_scale is the real thread count, so the
+            // fitted spu is the per-thread rate the planner divides back.
+            profile.secs_per_work_unit =
+                comp * profile.to_machine().thread_scale() / per_proc_work;
         }
     }
     profile
@@ -275,7 +290,7 @@ mod tests {
             .collect();
         let fit = calibrate(
             &base,
-            &CalibrationInput { p: 16, layers: 1, per_rank: &per_rank, total_work_units: None },
+            &CalibrationInput { p: 16, layers: 1, per_rank: &per_rank, total_work_units: None, threads: None },
         );
         assert!((fit.alpha / alpha - 1.0).abs() < 1e-9, "alpha={}", fit.alpha);
         assert!((fit.beta / beta - 1.0).abs() < 1e-9, "beta={}", fit.beta);
@@ -290,7 +305,7 @@ mod tests {
             vec![synthetic_breakdown(base.alpha, 4.0e-9, 2.0, 8, 400_000, 8, 400_000)];
         let fit = calibrate(
             &base,
-            &CalibrationInput { p: 16, layers: 1, per_rank: &per_rank, total_work_units: None },
+            &CalibrationInput { p: 16, layers: 1, per_rank: &per_rank, total_work_units: None, threads: None },
         );
         assert_eq!(fit.alpha, base.alpha);
         assert!((fit.beta / 4.0e-9 - 1.0).abs() < 1e-9, "beta={}", fit.beta);
@@ -303,7 +318,7 @@ mod tests {
         let per_rank = vec![StepBreakdown::default(); 4];
         let fit = calibrate(
             &base,
-            &CalibrationInput { p: 4, layers: 4, per_rank: &per_rank, total_work_units: None },
+            &CalibrationInput { p: 4, layers: 4, per_rank: &per_rank, total_work_units: None, threads: None },
         );
         assert_eq!(fit.alpha, base.alpha);
         assert_eq!(fit.beta, base.beta);
@@ -323,12 +338,40 @@ mod tests {
                 layers: 2,
                 per_rank: &per_rank,
                 total_work_units: Some(total_work),
+                threads: None,
             },
         );
-        // comp = spu * (work/p) / (threads*eff)  =>  spu = comp*threads*eff/(work/p)
-        let expect = 2.0 * base.threads_per_proc as f64 * base.thread_efficiency
-            / (total_work / 2.0);
+        // comp = spu * (work/p) / thread_scale  =>  spu = comp*scale/(work/p)
+        let expect = 2.0 * base.thread_scale() / (total_work / 2.0);
         assert!((fit.secs_per_work_unit / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_run_fits_real_thread_count() {
+        let base = Machine::knl();
+        let mut b = StepBreakdown::default();
+        b.secs[Step::LocalMultiply as usize] = 0.5;
+        let per_rank = vec![b; 4];
+        let total_work = 8.0e8;
+        let fit = calibrate(
+            &base,
+            &CalibrationInput {
+                p: 4,
+                layers: 1,
+                per_rank: &per_rank,
+                total_work_units: Some(total_work),
+                threads: Some(8),
+            },
+        );
+        // The fitted profile describes the measured execution: 8 real
+        // threads at unit efficiency, spu solved against that scale.
+        assert_eq!(fit.threads_per_proc, 8);
+        assert_eq!(fit.thread_efficiency, 1.0);
+        let expect = 0.5 * 8.0 / (total_work / 4.0);
+        assert!((fit.secs_per_work_unit / expect - 1.0).abs() < 1e-12);
+        // Round-tripping through a Machine keeps predictions consistent.
+        let m = fit.to_machine();
+        assert!((m.compute_secs(total_work / 4.0) / 0.5 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -152,9 +152,8 @@ pub fn summa2d_layer<S: Semiring>(
             grid.j
         );
 
-        // Local-Multiply.
-        let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
-        rank.compute(Step::LocalMultiply, stats.work_units);
+        // Local-Multiply, executed and clock-charged by the backend.
+        let (partial, _stats) = kernels.run_local_multiply::<S>(rank, &a_recv, &b_recv)?;
         acc.push::<S>(rank, kernels, partial, r, mem)?;
     }
 
@@ -242,8 +241,7 @@ pub fn summa2d_layer_pipelined<S: Semiring>(
             grid.j
         );
 
-        let (partial, stats) = kernels.local_multiply::<S>(&a_recv, &b_recv)?;
-        rank.compute(Step::LocalMultiply, stats.work_units);
+        let (partial, _stats) = kernels.run_local_multiply::<S>(rank, &a_recv, &b_recv)?;
         acc.push::<S>(rank, kernels, partial, r, mem)?;
     }
 
@@ -293,8 +291,8 @@ impl<T: Copy> StageAccumulator<T> {
                     None => self.running = Some(partial),
                     Some(acc) => {
                         let in_bytes = acc.modeled_bytes(r) + partial.modeled_bytes(r);
-                        let (merged, mstats) = kernels.merge_layer::<S>(&[acc, partial])?;
-                        rank.compute(Step::MergeLayer, mstats.work_units);
+                        let (merged, _mstats) =
+                            kernels.run_merge_layer::<S>(rank, &[acc, partial])?;
                         mem.free(in_bytes);
                         mem.alloc(merged.modeled_bytes(r));
                         self.running = Some(merged);
@@ -322,8 +320,7 @@ impl<T: Copy> StageAccumulator<T> {
                 // is modeled as streaming (inputs released column-by-column as
                 // they are consumed), so the merged output replaces rather
                 // than stacks on the partials.
-                let (merged, stats) = kernels.merge_layer::<S>(&self.partials)?;
-                rank.compute(Step::MergeLayer, stats.work_units);
+                let (merged, _stats) = kernels.run_merge_layer::<S>(rank, &self.partials)?;
                 mem.free(self.partial_bytes);
                 mem.alloc(merged.modeled_bytes(r));
                 Ok(merged)

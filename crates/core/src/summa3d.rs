@@ -124,8 +124,7 @@ pub fn summa3d_batch<S: Semiring>(
             );
         }
     }
-    let (merged, stats) = kernels.merge_fiber::<S>(&pieces)?;
-    rank.compute(Step::MergeFiber, stats.work_units);
+    let (merged, _stats) = kernels.run_merge_fiber::<S>(rank, &pieces)?;
     mem.free(recv_bytes);
     mem.alloc(merged.modeled_bytes(r));
     spgemm_sparse::debug_validate!(

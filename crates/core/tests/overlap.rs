@@ -7,7 +7,7 @@
 //! phases, so the critical path shrinks while the hidden time shows up in
 //! `StepBreakdown::overlap_total`.
 
-use spgemm_core::{run_spgemm, OverlapMode, RunConfig};
+use spgemm_core::{run_spgemm, BackendKind, OverlapMode, RunConfig};
 use spgemm_simgrid::Machine;
 use spgemm_sparse::gen::er_random;
 use spgemm_sparse::semiring::{PlusTimesF64, PlusTimesU64, Semiring};
@@ -112,13 +112,24 @@ fn forced_batches_beyond_local_column_count() {
 /// The modeled clocks of an overlapped run are a pure function of the
 /// inputs: repeated `run_ranks` executions (real threads, real channels)
 /// must produce identical per-rank breakdowns, not just identical output.
+///
+/// This property is specific to the Simgrid backend (measured Native
+/// clocks are wall-time and legitimately vary), so the backend is pinned
+/// rather than inherited from `SPGEMM_BACKEND`.
 #[test]
 fn overlapped_clocks_are_deterministic_across_executions() {
     let a = er_random::<PlusTimesF64>(64, 64, 6, 240);
     let b = er_random::<PlusTimesF64>(64, 64, 6, 241);
-    let first = run::<PlusTimesF64>(&a, &b, 16, 4, 3, OverlapMode::Overlapped);
+    let run_pinned = || {
+        let mut cfg = RunConfig::new(16, 4);
+        cfg.forced_batches = Some(3);
+        cfg.overlap = OverlapMode::Overlapped;
+        cfg.backend = BackendKind::Simgrid;
+        run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap()
+    };
+    let first = run_pinned();
     for attempt in 0..3 {
-        let again = run::<PlusTimesF64>(&a, &b, 16, 4, 3, OverlapMode::Overlapped);
+        let again = run_pinned();
         assert_eq!(first.c, again.c, "output drifted on attempt {attempt}");
         assert_eq!(
             first.per_rank, again.per_rank,

@@ -148,6 +148,17 @@ impl Rank {
         self.clock.advance(step, dt);
     }
 
+    /// Advance the modeled clock by a *measured* wall-clock duration of
+    /// local computation attributed to `step`.
+    ///
+    /// The `Native` backend's path into the clock: the kernel actually ran
+    /// (possibly multithreaded), and its elapsed seconds enter the same
+    /// per-step breakdown that [`Rank::compute`] fills with modeled
+    /// seconds, so measured and modeled runs report through one machinery.
+    pub fn compute_measured(&mut self, step: Step, secs: f64) {
+        self.clock.advance(step, secs);
+    }
+
     /// Build the communicator containing every rank.
     pub fn world_comm(&self) -> Comm {
         self.comm((0..self.world.p).collect(), 0)

@@ -164,10 +164,20 @@ impl Machine {
         self.alpha * (q - 1) as f64 + self.beta * max_bytes as f64
     }
 
+    /// Effective per-process compute parallelism:
+    /// `threads_per_proc · thread_efficiency`.
+    ///
+    /// The single definition of "per-thread work" shared by the modeled
+    /// clock ([`Machine::compute_secs`]) and by the planner's calibrator,
+    /// which divides *measured* per-process times by the same factor when
+    /// fitting `secs_per_work_unit` from a real `Native` run.
+    pub fn thread_scale(&self) -> f64 {
+        self.threads_per_proc as f64 * self.thread_efficiency
+    }
+
     /// Seconds of local computation for `work_units` abstract units.
     pub fn compute_secs(&self, work_units: f64) -> f64 {
-        self.secs_per_work_unit * work_units
-            / (self.threads_per_proc as f64 * self.thread_efficiency)
+        self.secs_per_work_unit * work_units / self.thread_scale()
     }
 }
 

@@ -45,7 +45,7 @@ const FETCH_STEPS: [Step; 2] = [Step::FetchRequest, Step::FetchReply];
 /// mark, and the exact-size copy-out volume. The simgrid crate knows
 /// nothing about the sparse kernels — callers (the bench harnesses) fill
 /// these from whatever `WorkStats`-like totals their run produced.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KernelCounters {
     /// Heap allocation events in kernel hot paths (arena/table growth plus
     /// exact-size output copies), summed over ranks.
@@ -54,6 +54,11 @@ pub struct KernelCounters {
     pub peak_scratch_bytes: u64,
     /// Bytes copied out of workspaces into finished outputs, summed.
     pub memcpy_bytes: u64,
+    /// Per-thread load imbalance of the parallel kernel splitter:
+    /// max/mean work per thread range, work-weighted over invocations
+    /// (1.0 = perfectly balanced). `0.0` means the run was serial (no
+    /// thread ranges recorded) and renders as `-` in tables.
+    pub load_imbalance: f64,
 }
 
 /// A table of labeled configurations × step breakdowns, optionally with
@@ -156,7 +161,10 @@ impl StepReport {
         }
         let with_counters = self.has_counters();
         if with_counters {
-            out.push_str(&format!(" {:>12} {:>14} {:>14}", "Allocs", "PeakScratchB", "MemcpyB"));
+            out.push_str(&format!(
+                " {:>12} {:>14} {:>14} {:>8}",
+                "Allocs", "PeakScratchB", "MemcpyB", "Imbal"
+            ));
         }
         out.push('\n');
         for ((label, b), cnt) in self.rows.iter().zip(&self.counters) {
@@ -175,11 +183,21 @@ impl StepReport {
             }
             if with_counters {
                 match cnt {
-                    Some(c) => out.push_str(&format!(
-                        " {:>12} {:>14} {:>14}",
-                        c.allocs, c.peak_scratch_bytes, c.memcpy_bytes
+                    Some(c) => {
+                        out.push_str(&format!(
+                            " {:>12} {:>14} {:>14}",
+                            c.allocs, c.peak_scratch_bytes, c.memcpy_bytes
+                        ));
+                        if c.load_imbalance > 0.0 {
+                            out.push_str(&format!(" {:>8.2}", c.load_imbalance));
+                        } else {
+                            out.push_str(&format!(" {:>8}", "-"));
+                        }
+                    }
+                    None => out.push_str(&format!(
+                        " {:>12} {:>14} {:>14} {:>8}",
+                        "-", "-", "-", "-"
                     )),
-                    None => out.push_str(&format!(" {:>12} {:>14} {:>14}", "-", "-", "-")),
                 }
             }
             out.push('\n');
@@ -196,7 +214,7 @@ impl StepReport {
         out.push_str(",total,comm_total,comp_total,overlap_total");
         let with_counters = self.has_counters();
         if with_counters {
-            out.push_str(",allocs,peak_scratch_bytes,memcpy_bytes");
+            out.push_str(",allocs,peak_scratch_bytes,memcpy_bytes,load_imbalance");
         }
         out.push('\n');
         for ((label, b), cnt) in self.rows.iter().zip(&self.counters) {
@@ -214,10 +232,10 @@ impl StepReport {
             if with_counters {
                 match cnt {
                     Some(c) => out.push_str(&format!(
-                        ",{},{},{}",
-                        c.allocs, c.peak_scratch_bytes, c.memcpy_bytes
+                        ",{},{},{},{:.4}",
+                        c.allocs, c.peak_scratch_bytes, c.memcpy_bytes, c.load_imbalance
                     )),
-                    None => out.push_str(",,,"),
+                    None => out.push_str(",,,,"),
                 }
             }
             out.push('\n');
@@ -272,13 +290,19 @@ mod tests {
                 allocs: 42,
                 peak_scratch_bytes: 4096,
                 memcpy_bytes: 1234,
+                load_imbalance: 1.25,
             },
         );
         let t = r.to_table();
         assert!(t.contains("Allocs") && t.contains("PeakScratchB") && t.contains("MemcpyB"));
+        assert!(t.contains("Imbal") && t.contains("1.25"));
         assert!(t.contains("42") && t.contains("4096"));
         let csv = r.to_csv();
-        assert!(csv.lines().next().unwrap().ends_with("allocs,peak_scratch_bytes,memcpy_bytes"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("allocs,peak_scratch_bytes,memcpy_bytes,load_imbalance"));
         // The counter-less row renders empty counter cells, keeping the
         // column count uniform.
         let plain_line = csv.lines().find(|l| l.starts_with("plain")).unwrap();
@@ -287,7 +311,7 @@ mod tests {
             plain_line.matches(',').count(),
             metered_line.matches(',').count()
         );
-        assert!(metered_line.ends_with("42,4096,1234"));
+        assert!(metered_line.ends_with("42,4096,1234,1.2500"));
         assert_eq!(r.counters().len(), 2);
         assert!(r.counters()[0].is_none());
     }

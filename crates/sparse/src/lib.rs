@@ -14,6 +14,9 @@
 //!   paper's **unsorted-hash** kernel, plus symbolic (nnz-count) variants.
 //! * [`merge`] — k-way merge kernels used by Merge-Layer / Merge-Fiber:
 //!   the previous heap merge and this paper's **unsorted-hash merge**.
+//! * [`par`] — multithreaded wrappers over the multiply/merge/symbolic
+//!   kernels: flop-balanced output-column ranges, one thread and one
+//!   workspace arena per range, bit-identical output to serial.
 //! * [`ops`] — transpose, column split/concat (block and block-cyclic),
 //!   pruning, elementwise operations.
 //! * [`gen`] — deterministic generators standing in for the paper's test
@@ -36,6 +39,7 @@ pub mod gen;
 pub mod io;
 pub mod merge;
 pub mod ops;
+pub mod par;
 pub mod semiring;
 pub mod spgemm;
 pub mod subset;
