@@ -15,11 +15,33 @@
 //! performs: an allgather of per-column contributions along the process
 //! column, charged to `Step::Other` (application time, not SpGEMM time —
 //! matching how Fig. 3 reports only the SpGEMM steps).
+//!
+//! Two drivers share that callback:
+//!
+//! * The **session driver** (default, [`MclParams::session`]) keeps the
+//!   iterate resident in an [`IterSession`] for the whole run — one
+//!   `run_ranks` call, no per-iteration gather-to-root/re-scatter round
+//!   trip, the symbolic sweep skipped when the budget is unlimited, and
+//!   (under [`ExchangeMode::SparseFetch`] with [`MclParams::cache`]) fetch
+//!   state memoized across iterations. Chaos is computed *distributed*,
+//!   bit-identically to the serial metric, from the same per-column value
+//!   allgather the pruning already performs.
+//! * The **legacy driver** re-distributes every iteration (the shape the
+//!   paper's Fig. 3 harness used). It is kept as the reference the session
+//!   must match bit-for-bit, and for A/B measurement of what residency
+//!   saves.
+//!
+//! Both produce identical clusterings: the session's in-place assembly and
+//! fiber refresh reproduce the legacy gather + re-scatter exactly (see
+//! `iter_session.rs` property tests).
 
 use crate::components::components_from_pattern;
 use spgemm_core::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
 use spgemm_core::dist::{gather_pieces, scatter, CPiece, DistKind};
-use spgemm_core::{CoreError, KernelStrategy, MemoryBudget};
+use spgemm_core::{
+    BackendKind, CoreError, ExchangeMode, IterSession, KernelStrategy, MemoryBudget, OverlapMode,
+    SessionIterStats,
+};
 use spgemm_simgrid::{max_breakdown, run_ranks, Grid3D, Machine, Rank, Step, StepBreakdown};
 use spgemm_sparse::semiring::PlusTimesF64;
 use spgemm_sparse::{CscMatrix, Triples};
@@ -48,6 +70,18 @@ pub struct MclParams {
     pub kernels: KernelStrategy,
     /// Memory budget (drives per-iteration batch counts).
     pub budget: MemoryBudget,
+    /// Blocking or overlapped (pipelined) communication.
+    pub overlap: OverlapMode,
+    /// How stage operands move (dense broadcast vs sparsity-aware fetch).
+    pub exchange: ExchangeMode,
+    /// Modeled-clock or real-multithreaded local kernels.
+    pub backend: BackendKind,
+    /// Keep the iterate resident across iterations (the default). `false`
+    /// selects the legacy gather/re-scatter driver.
+    pub session: bool,
+    /// Memoize SparseFetch state across session iterations (no effect on
+    /// the legacy driver or under `DenseBcast`).
+    pub cache: bool,
 }
 
 impl MclParams {
@@ -64,7 +98,28 @@ impl MclParams {
             machine: Machine::knl(),
             kernels: KernelStrategy::New,
             budget: MemoryBudget::unlimited(),
+            overlap: OverlapMode::default(),
+            exchange: ExchangeMode::default(),
+            backend: BackendKind::default(),
+            session: true,
+            cache: true,
         }
+    }
+}
+
+/// The batched-multiply configuration both drivers run under — every
+/// policy knob threads through from [`MclParams`], so `--overlap`,
+/// `--exchange` and `--backend` reach MCL like they reach plain SpGEMM.
+fn batch_config(params: &MclParams) -> BatchConfig {
+    BatchConfig {
+        kernels: params.kernels,
+        batching: BatchingStrategy::BlockCyclic,
+        budget: params.budget,
+        forced_batches: None,
+        merge_schedule: Default::default(),
+        overlap: params.overlap,
+        exchange: params.exchange,
+        backend: params.backend,
     }
 }
 
@@ -73,12 +128,22 @@ impl MclParams {
 pub struct IterStats {
     /// Critical-path step breakdown of the iteration's SpGEMM.
     pub breakdown: StepBreakdown,
-    /// Batches the symbolic step chose this iteration.
+    /// Batches the symbolic step chose this iteration (cross-rank
+    /// agreement is verified, not assumed).
     pub nbatches: usize,
     /// Chaos after the iteration (0 = fully converged).
     pub chaos: f64,
     /// Nonzeros in the pruned iterate.
     pub nnz: usize,
+    /// Modeled communication bytes of the iteration, summed over ranks.
+    pub modeled_bytes: u64,
+    /// Operand-cache fetch rounds answered from cache, summed over ranks
+    /// (session driver with `SparseFetch` + cache only).
+    pub fetch_hits: u64,
+    /// Operand-cache fetch rounds that shipped a fresh tile, summed.
+    pub fetch_misses: u64,
+    /// Iterate columns invalidated by this iteration's pruning, summed.
+    pub invalidated_cols: u64,
 }
 
 /// Clustering result.
@@ -142,12 +207,21 @@ pub fn chaos(m: &CscMatrix<f64>) -> f64 {
 /// The per-batch HipMCL pruning: inflate, normalize, select top-k,
 /// threshold, re-normalize. Column-global quantities are reduced along the
 /// process column communicator.
+///
+/// Also returns the batch's contribution to the chaos metric, computed
+/// from the per-column value allgather the top-k selection already paid
+/// for. The reconstruction is **bit-identical** to running [`chaos`] on
+/// the assembled global iterate: the column communicator's members are
+/// ordered by process row, each member's values sit in ascending local row
+/// order, so the filtered, re-scaled concatenation walks a column's kept
+/// values in exactly the global storage order the serial metric folds
+/// over.
 fn prune_batch_piece(
     rank: &mut Rank,
     grid: &Grid3D,
     mut piece: CPiece<f64>,
     params: &MclParams,
-) -> CPiece<f64> {
+) -> (CPiece<f64>, f64) {
     let ncols = piece.local.ncols();
     // Inflation (elementwise power) is local.
     let inflated = piece.local.map(|v| v.abs().powf(params.inflation));
@@ -205,18 +279,45 @@ fn prune_batch_piece(
         .collect();
     spgemm_sparse::ops::scale_cols(&mut normalized, &factors2);
 
+    // Chaos of this batch's columns, from the already-gathered values:
+    // replay the prune predicate and the survivor re-scaling on the
+    // member-ordered concatenation (= global storage order; see above).
+    let mut batch_chaos: f64 = 0.0;
+    for j in 0..ncols {
+        let mut mx: f64 = 0.0;
+        let mut sumsq: f64 = 0.0;
+        let mut any = false;
+        for contrib in &all_vals {
+            for &v in &contrib[j] {
+                if v >= kth[j] && v >= params.prune_threshold {
+                    let w = v * factors2[j];
+                    mx = mx.max(w);
+                    sumsq += w * w;
+                    any = true;
+                }
+            }
+        }
+        if any {
+            batch_chaos = batch_chaos.max(mx - sumsq);
+        }
+    }
+
     piece.local = normalized;
-    piece
+    (piece, batch_chaos)
 }
 
-/// One expansion+inflation+pruning iteration on the virtual cluster.
+/// One legacy expansion+inflation+pruning iteration on the virtual
+/// cluster: scatter the iterate, multiply-and-prune, gather it back.
 /// Returns the new (gathered) iterate and the iteration's measurements.
+///
+/// Takes the iterate as an `Arc` so the simulation threads share one copy
+/// instead of deep-cloning the whole matrix every iteration.
 fn mcl_iteration(
-    m: &CscMatrix<f64>,
+    m: &Arc<CscMatrix<f64>>,
     params: &MclParams,
-) -> Result<(CscMatrix<f64>, StepBreakdown, usize), CoreError> {
+) -> Result<(CscMatrix<f64>, StepBreakdown, usize, u64), CoreError> {
     let n = m.nrows();
-    let m_arc = Arc::new(m.clone());
+    let m_arc = Arc::clone(m);
     let params = *params;
     let results = run_ranks(params.p, params.machine, move |rank| {
         let grid = Grid3D::new(rank, params.layers);
@@ -232,19 +333,10 @@ fn mcl_iteration(
             DistKind::BStyle,
             (rank.rank() == 0).then(|| Arc::clone(&m_arc)),
         );
-        let cfg = BatchConfig {
-            kernels: params.kernels,
-            batching: BatchingStrategy::BlockCyclic,
-            budget: params.budget,
-            forced_batches: None,
-            merge_schedule: Default::default(),
-            overlap: Default::default(),
-            exchange: Default::default(),
-            backend: Default::default(),
-        };
+        let cfg = batch_config(&params);
         let grid_ref = &grid;
         let result = batched_summa3d::<PlusTimesF64>(rank, &grid, &da, &db, &cfg, |rank, out| {
-            Some(prune_batch_piece(rank, grid_ref, out.piece, &params))
+            Some(prune_batch_piece(rank, grid_ref, out.piece, &params).0)
         })?;
         let nbatches = result.nbatches;
         let gathered = gather_pieces(rank, &grid.world, result.pieces, n, n);
@@ -253,11 +345,23 @@ fn mcl_iteration(
 
     let mut new_m = None;
     let mut breakdowns = Vec::with_capacity(params.p);
-    let mut nbatches = 1;
+    let mut modeled_bytes = 0u64;
+    let mut nbatches: Option<usize> = None;
     for (i, r) in results.into_iter().enumerate() {
         let (c, bd, nb) = r?;
+        modeled_bytes += bd.bytes_total();
         breakdowns.push(bd);
-        nbatches = nb;
+        // The symbolic batch count must be an SPMD-agreed value; taking
+        // any one rank's answer would silently mask a divergence.
+        match nbatches {
+            None => nbatches = Some(nb),
+            Some(prev) if prev != nb => {
+                return Err(CoreError::Config(format!(
+                    "ranks disagree on the batch count: rank 0 chose {prev}, rank {i} chose {nb}"
+                )))
+            }
+            Some(_) => {}
+        }
         if i == 0 {
             new_m = c;
         }
@@ -265,18 +369,32 @@ fn mcl_iteration(
     Ok((
         new_m.expect("root must gather the iterate"),
         max_breakdown(&breakdowns),
-        nbatches,
+        nbatches.expect("at least one rank ran"),
+        modeled_bytes,
     ))
 }
 
-/// Run Markov clustering on `adj` (symmetric similarity matrix).
+/// Run Markov clustering on `adj` (symmetric similarity matrix) with the
+/// driver [`MclParams::session`] selects. Both drivers produce identical
+/// clusterings and per-iteration chaos values.
 pub fn markov_cluster(adj: &CscMatrix<f64>, params: &MclParams) -> Result<MclResult, CoreError> {
-    let mut m = mcl_init(adj);
+    if params.session {
+        markov_cluster_session(adj, params)
+    } else {
+        markov_cluster_legacy(adj, params)
+    }
+}
+
+fn markov_cluster_legacy(
+    adj: &CscMatrix<f64>,
+    params: &MclParams,
+) -> Result<MclResult, CoreError> {
+    let mut m = Arc::new(mcl_init(adj));
     let mut per_iter = Vec::new();
     let mut iterations = 0;
     for _ in 0..params.max_iters {
-        let (next, breakdown, nbatches) = mcl_iteration(&m, params)?;
-        m = next;
+        let (next, breakdown, nbatches, modeled_bytes) = mcl_iteration(&m, params)?;
+        m = Arc::new(next);
         iterations += 1;
         let ch = chaos(&m);
         per_iter.push(IterStats {
@@ -284,11 +402,116 @@ pub fn markov_cluster(adj: &CscMatrix<f64>, params: &MclParams) -> Result<MclRes
             nbatches,
             chaos: ch,
             nnz: m.nnz(),
+            modeled_bytes,
+            fetch_hits: 0,
+            fetch_misses: 0,
+            invalidated_cols: 0,
         });
         if ch < params.chaos_threshold {
             break;
         }
     }
+    let labels = components_from_pattern(&m, params.prune_threshold);
+    Ok(MclResult {
+        labels,
+        iterations,
+        per_iter,
+    })
+}
+
+/// The resident-iterate driver: one `run_ranks` call hosts the whole MCL
+/// loop inside an [`IterSession`]. Convergence is decided on every rank
+/// from the distributed chaos (one world all-reduce per iteration), so all
+/// ranks break in lock-step; the iterate is gathered to root exactly once,
+/// at the end, for component labeling.
+fn markov_cluster_session(
+    adj: &CscMatrix<f64>,
+    params: &MclParams,
+) -> Result<MclResult, CoreError> {
+    let m0 = mcl_init(adj);
+    let m_arc = Arc::new(m0);
+    let params = *params;
+    type RankIters = Vec<(SessionIterStats, f64, u64)>;
+    let results = run_ranks(params.p, params.machine, move |rank| {
+        let grid = Grid3D::new(rank, params.layers);
+        let mut sess = IterSession::<PlusTimesF64>::new(
+            rank,
+            &grid,
+            (rank.rank() == 0).then(|| Arc::clone(&m_arc)),
+            batch_config(&params),
+            params.cache,
+        )?;
+        let mut iters: RankIters = Vec::new();
+        for _ in 0..params.max_iters {
+            let mut iter_chaos: f64 = 0.0;
+            let grid_ref = &grid;
+            let stats = sess.step(rank, &grid, |rank, out| {
+                let (piece, bc) = prune_batch_piece(rank, grid_ref, out.piece, &params);
+                iter_chaos = iter_chaos.max(bc);
+                Some(piece)
+            })?;
+            // Every process column computed its own columns' chaos; the
+            // global metric (f64 max is exact) decides convergence on all
+            // ranks simultaneously.
+            let ch = rank.allreduce(&grid.world, iter_chaos, f64::max, 8, Step::Other);
+            let nnz = rank.allreduce(&grid.world, stats.local_nnz, |a, b| a + b, 8, Step::Other);
+            iters.push((stats, ch, nnz));
+            if ch < params.chaos_threshold {
+                break;
+            }
+        }
+        let gathered = sess.gather(rank, &grid);
+        Ok::<_, CoreError>((gathered, iters))
+    });
+
+    let mut final_m: Option<CscMatrix<f64>> = None;
+    let mut per_rank: Vec<RankIters> = Vec::with_capacity(params.p);
+    for (i, r) in results.into_iter().enumerate() {
+        let (g, iters) = r?;
+        if i == 0 {
+            final_m = g;
+        }
+        per_rank.push(iters);
+    }
+    let iterations = per_rank[0].len();
+    let mut per_iter = Vec::with_capacity(iterations);
+    for t in 0..iterations {
+        let mut bds = Vec::with_capacity(params.p);
+        let (mut hits, mut misses, mut inval, mut bytes) = (0u64, 0u64, 0u64, 0u64);
+        let mut nbatches: Option<usize> = None;
+        for (ri, rank_iters) in per_rank.iter().enumerate() {
+            debug_assert_eq!(rank_iters.len(), iterations, "SPMD break divergence");
+            let (s, _, _) = &rank_iters[t];
+            bds.push(s.breakdown);
+            hits += s.cache.hits;
+            misses += s.cache.misses;
+            inval += s.cache.invalidated_cols;
+            bytes += s.breakdown.bytes_total();
+            match nbatches {
+                None => nbatches = Some(s.nbatches),
+                Some(prev) if prev != s.nbatches => {
+                    return Err(CoreError::Config(format!(
+                        "ranks disagree on the batch count: rank 0 chose {prev}, \
+                         rank {ri} chose {}",
+                        s.nbatches
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        let (_, ch, nnz) = per_rank[0][t];
+        per_iter.push(IterStats {
+            breakdown: max_breakdown(&bds),
+            nbatches: nbatches.expect("at least one rank ran"),
+            chaos: ch,
+            nnz: nnz as usize,
+            modeled_bytes: bytes,
+            fetch_hits: hits,
+            fetch_misses: misses,
+            invalidated_cols: inval,
+        });
+    }
+    let m = final_m.expect("root gathers the final iterate");
     let labels = components_from_pattern(&m, params.prune_threshold);
     Ok(MclResult {
         labels,
@@ -352,6 +575,65 @@ mod tests {
                 "p={p} l={l} changed the clustering"
             );
         }
+    }
+
+    #[test]
+    fn session_and_legacy_drivers_match_bit_for_bit() {
+        let adj = clustered_similarity(3, 8, 5, 1, 96);
+        for (p, l) in [(4usize, 1usize), (16, 4)] {
+            for exchange in [ExchangeMode::DenseBcast, ExchangeMode::SparseFetch] {
+                let mut sp = MclParams::new(p, l);
+                sp.exchange = exchange;
+                let mut lp = sp;
+                lp.session = false;
+                let sess = markov_cluster(&adj, &sp).unwrap();
+                let legacy = markov_cluster(&adj, &lp).unwrap();
+                assert_eq!(sess.labels, legacy.labels, "p={p} l={l} {exchange:?}");
+                assert_eq!(sess.iterations, legacy.iterations);
+                for (a, b) in sess.per_iter.iter().zip(&legacy.per_iter) {
+                    // Distributed chaos must be *bit*-identical to the
+                    // serial metric on the gathered iterate.
+                    assert_eq!(a.chaos.to_bits(), b.chaos.to_bits());
+                    assert_eq!(a.nnz, b.nnz);
+                    assert_eq!(a.nbatches, b.nbatches);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_cache_warms_on_stable_iterate() {
+        // A star graph collapses in a few iterations to the idempotent
+        // projection "every column ↦ e_0", after which the iterate stops
+        // changing: late iterations must answer every non-empty fetch
+        // round from the cross-iteration cache and ship fewer bytes.
+        let n = 16;
+        let mut t = Triples::with_capacity(n, n, n - 1);
+        for j in 1..n as u32 {
+            t.push(0, j, 1.0);
+        }
+        let adj = t.to_csc_dedup::<PlusTimesF64>();
+        let mut params = MclParams::new(4, 1);
+        params.exchange = ExchangeMode::SparseFetch;
+        params.chaos_threshold = 0.0; // chaos hits exactly 0; keep going
+        params.max_iters = 8;
+        let result = markov_cluster(&adj, &params).unwrap();
+        assert_eq!(result.iterations, 8);
+        let it = &result.per_iter;
+        assert!(it[0].fetch_misses > 0, "cold iteration must miss");
+        assert_eq!(it[0].fetch_hits, 0);
+        let last = it.last().unwrap();
+        assert_eq!(last.fetch_misses, 0, "converged iteration must not re-fetch");
+        assert!(last.fetch_hits > 0, "converged iteration must hit");
+        assert_eq!(last.invalidated_cols, 0, "iterate is a fixed point");
+        assert!(
+            last.modeled_bytes < it[0].modeled_bytes,
+            "warm {} !< cold {}",
+            last.modeled_bytes,
+            it[0].modeled_bytes
+        );
+        // Every node joins the hub's single cluster.
+        assert_eq!(num_clusters(&result.labels), 1);
     }
 
     #[test]

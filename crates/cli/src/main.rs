@@ -13,16 +13,27 @@
 //!                 [--trace T.json] [--out C.mtx] [--verify]
 //! spgemm plan     --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--budget-mb M] [--machine NAME | --profile PROFILE.json]
-//!                 [--sample F] [--seed S]
+//!                 [--sample F] [--seed S] [--iters N]
 //! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
-//!                 [--select K] [--budget-mb M]
+//!                 [--select K] [--budget-mb M] [--kernels new|previous]
+//!                 [--exchange dense|sparse] [--backend simgrid|native]
+//!                 [--threads N] [--overlap] [--no-session] [--no-cache]
+//!                 [--machine NAME | --profile PROFILE.json]
 //! spgemm triangles --input M.mtx --procs P [--layers L]
 //! spgemm overlap  --input M.mtx --procs P [--layers L] [--min-shared S]
 //! ```
 //!
 //! `plan` prints the planner's ranked candidate report and runs nothing;
 //! `multiply --auto` plans and then runs the winner. `--profile` loads
-//! calibrated machine constants written by `--calibrate-out`.
+//! calibrated machine constants written by `--calibrate-out`. `plan
+//! --iters N` amortizes one-time setup costs over `N` iterations of an
+//! iterative application (MCL/BFS), which can flip the winning exchange
+//! mode.
+//!
+//! `mcl` keeps the iterate resident across iterations by default (the
+//! cross-iteration operand-caching session); `--no-session` selects the
+//! legacy gather/re-scatter driver and `--no-cache` disables fetch-state
+//! memoization while keeping the session.
 //!
 //! `--backend native` runs the local kernels for real on `--threads N` OS
 //! threads (default: all available cores) and charges their **measured**
@@ -339,6 +350,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         None => MemoryBudget::unlimited(),
     };
     let mut pcfg = PlannerConfig::new(machine, budget);
+    pcfg.iterations = args.get_or("iters", 1usize)?;
     pcfg.probe = ProbeConfig {
         sample_fraction: args.get_or("sample", 0.25f64)?,
         seed: args.get_or("seed", ProbeConfig::default().seed)?,
@@ -356,19 +368,54 @@ fn cmd_mcl(args: &Args) -> Result<(), String> {
     params.inflation = args.get_or("inflation", 2.0f64)?;
     params.select = args.get_or("select", 64usize)?;
     params.max_iters = args.get_or("max-iters", 30usize)?;
+    params.machine = machine_from_args(args)?;
+    params.kernels = kernels_by_name(args.opt("kernels").unwrap_or("new"))?;
     if let Some(mb) = args.opt("budget-mb") {
         let mb: f64 = mb.parse().map_err(|_| "bad --budget-mb")?;
         params.budget = MemoryBudget::new((mb * 1e6) as usize);
     }
+    if let Some(x) = args.opt("exchange") {
+        params.exchange = ExchangeMode::parse(x)?;
+    }
+    if args.flag("overlap") {
+        params.overlap = OverlapMode::Overlapped;
+    }
+    match args.opt("backend") {
+        Some("native") => {
+            params.backend = BackendKind::Native {
+                threads: match args.opt("threads") {
+                    Some(t) => t.parse().map_err(|_| "bad --threads")?,
+                    None => BackendKind::available_threads(),
+                },
+            };
+        }
+        Some("simgrid") | None => {
+            if args.opt("threads").is_some() {
+                return Err("--threads requires --backend native".into());
+            }
+        }
+        Some(other) => return Err(format!("unknown backend: {other}")),
+    }
+    if args.flag("no-session") {
+        params.session = false;
+    }
+    if args.flag("no-cache") {
+        params.cache = false;
+    }
     let result = markov_cluster(&a, &params).map_err(|e| e.to_string())?;
-    println!("iter  batches  chaos      SpGEMM(s)");
+    println!("iter  batches  chaos      SpGEMM(s)       nnz   bytes(MB)  hit/miss  inval");
     for (i, it) in result.per_iter.iter().enumerate() {
         println!(
-            "{:>4}  {:>7}  {:<9.4} {:.5}",
+            "{:>4}  {:>7}  {:<9.4} {:.5} {:>9} {:>11.3} {:>4}/{:<4} {:>6}",
             i + 1,
             it.nbatches,
             it.chaos,
-            it.breakdown.total()
+            it.breakdown.total(),
+            it.nnz,
+            it.modeled_bytes as f64 / 1e6,
+            it.fetch_hits,
+            it.fetch_misses,
+            it.invalidated_cols
         );
     }
     let k = spgemm_apps::components::num_clusters(&result.labels);

@@ -22,7 +22,7 @@ use crate::{CoreError, Result};
 use spgemm_simgrid::{Grid3D, Rank, Step};
 use spgemm_sparse::ops::{block_range, cyclic_batch_cols, extract_cols};
 use spgemm_sparse::par::RangeBalance;
-use spgemm_sparse::{Semiring, WorkStats};
+use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
 
 /// How batches partition the columns of `B` (and `C`).
@@ -238,9 +238,8 @@ pub fn batched_summa3d<S: Semiring>(
     a: &DistMatrix<S::T>,
     b: &DistMatrix<S::T>,
     cfg: &BatchConfig,
-    mut on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
+    on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
 ) -> Result<BatchedResult<S::T>> {
-    let r = cfg.budget.r;
     // One kernel engine for the whole run: the symbolic sweep warms its
     // accumulator and every batch's multiplies and merges reuse the same
     // scratch, so steady-state batches run allocation-free. The backend
@@ -249,6 +248,41 @@ pub fn batched_summa3d<S: Semiring>(
     // One exchange plan for the whole run: the symbolic sweep and every
     // batch share its fetch workspace and tag counter.
     let mut plan = ExchangePlan::new(cfg.exchange);
+    let a_shared = Arc::new(a.local.clone());
+    batched_summa3d_with::<S>(rank, grid, a, &a_shared, b, cfg, &mut kernels, &mut plan, on_batch)
+}
+
+/// [`batched_summa3d`] with caller-owned state: the kernel engine, the
+/// exchange plan, and the broadcast-shareable copy of `a.local` live
+/// outside the call, so an iterative session ([`crate::session`]) can
+/// keep all three warm across multiplications — preserving kernel
+/// workspaces, the fetch-tag sequence, and the cross-iteration fetch
+/// cache. `a_shared` must hold the same matrix as `a.local`.
+#[allow(clippy::too_many_arguments)] // the seam that lets sessions own the state
+pub fn batched_summa3d_with<S: Semiring>(
+    rank: &mut Rank,
+    grid: &Grid3D,
+    a: &DistMatrix<S::T>,
+    a_shared: &Arc<CscMatrix<S::T>>,
+    b: &DistMatrix<S::T>,
+    cfg: &BatchConfig,
+    kernels: &mut LocalKernels<S::T>,
+    plan: &mut ExchangePlan,
+    mut on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
+) -> Result<BatchedResult<S::T>> {
+    let r = cfg.budget.r;
+    if plan.mode() != cfg.exchange {
+        return Err(CoreError::Config(format!(
+            "exchange plan mode '{}' disagrees with cfg.exchange '{}'",
+            plan.mode().name(),
+            cfg.exchange.name()
+        )));
+    }
+    debug_assert_eq!(
+        (a_shared.nrows(), a_shared.ncols(), a_shared.nnz()),
+        (a.local.nrows(), a.local.ncols(), a.local.nnz()),
+        "a_shared must be the caller's copy of a.local"
+    );
     let needs_weights = cfg.batching == BatchingStrategy::Balanced;
     // Alg. 4 line 2: the symbolic step determines b (unless forced).
     // Balanced batching needs the symbolic per-column counts either way.
@@ -263,9 +297,11 @@ pub fn batched_summa3d<S: Semiring>(
             if forced == Some(0) {
                 return Err(CoreError::Config("forced batch count must be ≥ 1".into()));
             }
-            let (outcome, weights) = symbolic3d_with_weights::<S>(
-                rank, grid, a, b, &cfg.budget, &mut kernels, &mut plan,
-            )?;
+            // The symbolic sweep's structure-only fetches bypass the
+            // cross-iteration cache (no batch context).
+            plan.begin_uncached();
+            let (outcome, weights) =
+                symbolic3d_with_weights::<S>(rank, grid, a, b, &cfg.budget, kernels, plan)?;
             let nb = forced.unwrap_or(outcome.batches);
             let weights = needs_weights.then_some(weights);
             (nb, Some(outcome), weights)
@@ -294,7 +330,6 @@ pub fn batched_summa3d<S: Semiring>(
     let mut mem = MemTracker::new();
     mem.alloc(a.local.modeled_bytes(r) + b.local.modeled_bytes(r));
 
-    let a_shared = Arc::new(a.local.clone());
     let b_col_start = b.col_range(grid).start;
     let mut pieces = Vec::new();
 
@@ -336,11 +371,14 @@ pub fn batched_summa3d<S: Semiring>(
 
     // Alg. 4 lines 4–6: split B̃ and multiply batch by batch.
     for t in 0..nbatches {
+        // Key this batch's fetch rounds — including the waits of stages
+        // posted ahead by the previous batch's pipeline, which fetch here.
+        plan.begin_batch(t);
         let (global_cols, piece_offsets, b_piece) = staged.take().expect("batch staged");
         staged = (t + 1 < nbatches).then(|| stage(t + 1));
         let next = match (&staged, overlapped) {
             (Some((_, _, next_piece)), true) => Some(NextStage {
-                a_shared: Arc::clone(&a_shared),
+                a_shared: Arc::clone(a_shared),
                 a_bytes,
                 b_piece: Arc::clone(next_piece),
                 b_bytes: next_piece.modeled_bytes(r),
@@ -351,15 +389,15 @@ pub fn batched_summa3d<S: Semiring>(
             rank,
             grid,
             a,
-            &a_shared,
+            a_shared,
             &b_piece,
             &global_cols,
             &piece_offsets,
-            &mut kernels,
+            kernels,
             cfg.merge_schedule,
             r,
             &mut mem,
-            &mut plan,
+            plan,
             cfg.overlap,
             carry.take(),
             next.as_ref(),

@@ -45,6 +45,8 @@ use spgemm_sparse::subset::{
     extract_cols_compact, needed_rows, scatter_cols_padded, SubsetWorkspace,
 };
 use spgemm_sparse::CscMatrix;
+use std::any::Any;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// High bits reserved for fetch tags so they can never collide with the
@@ -92,15 +94,129 @@ impl ExchangeMode {
     pub const ALL: [ExchangeMode; 2] = [ExchangeMode::DenseBcast, ExchangeMode::SparseFetch];
 }
 
+/// Wire request of one fetch round (receiver → stage owner).
+enum FetchReq {
+    /// Full needed-column index set: the cold path, and the path taken
+    /// whenever the receiver's structure changed or caching is off. An
+    /// empty set triggers the zero-row fast path on the owner.
+    Rows(Vec<u32>),
+    /// The receiver's needed set for this `(stage, batch)` key is
+    /// identical to the one the owner last served; the owner decides from
+    /// its column epochs whether the receiver's cached tile is still
+    /// valid. Carries no payload — a pure control message.
+    Unchanged,
+}
+
+/// Wire reply of one fetch round (stage owner → receiver).
+enum FetchRep<T> {
+    /// Compact column-subset tile plus the owner's operand width.
+    Tile(CscMatrix<T>, u64),
+    /// Zero-row fast path: the receiver needed nothing, so only the
+    /// operand dimensions travel (the receiver pads an empty matrix).
+    Empty { nrows: u64, ncols: u64 },
+    /// Every column the receiver's cached tile covers is unchanged since
+    /// it was served — reuse it as-is.
+    CacheValid,
+}
+
+/// Counters of the cross-iteration fetch cache (and the zero-row fast
+/// path), per rank. Receiver-side rounds count as `hits`/`misses`;
+/// `served_cached` counts the owner side of hits; `invalidated_cols`
+/// accumulates the dirty columns noted via
+/// [`ExchangePlan::note_dirty_cols`]; `bytes_saved` is the modeled reply
+/// volume hits avoided.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FetchCacheStats {
+    /// Rounds answered `CacheValid` (receiver side).
+    pub hits: u64,
+    /// Cached-eligible rounds that had to ship a tile (receiver side).
+    pub misses: u64,
+    /// `CacheValid` replies issued (owner side).
+    pub served_cached: u64,
+    /// Dirty columns recorded across all epochs.
+    pub invalidated_cols: u64,
+    /// Modeled reply bytes avoided by hits (receiver side).
+    pub bytes_saved: u64,
+    /// Zero-row fast-path rounds (either side).
+    pub empty_rounds: u64,
+}
+
+impl FetchCacheStats {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn delta(&self, earlier: &FetchCacheStats) -> FetchCacheStats {
+        FetchCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            served_cached: self.served_cached - earlier.served_cached,
+            invalidated_cols: self.invalidated_cols - earlier.invalidated_cols,
+            bytes_saved: self.bytes_saved - earlier.bytes_saved,
+            empty_rounds: self.empty_rounds - earlier.empty_rounds,
+        }
+    }
+}
+
+/// Owner-side memo of the last request served to one requester of one
+/// batch: the needed set (so `Unchanged` requests need not resend it) and
+/// the epoch at which the tile was cut.
+struct OwnerEntry {
+    needed: Vec<u32>,
+    served_epoch: u64,
+}
+
+/// Receiver-side cached tile for one `(stage, batch)` key.
+struct TileEntry<T> {
+    needed: Vec<u32>,
+    tile: Arc<CscMatrix<T>>,
+    rep_bytes: u64,
+}
+
+/// Cross-iteration fetch-cache state (see [`ExchangePlan::enable_cache`]).
+///
+/// Epochs are purely rank-local: every rank advances its epoch once per
+/// iteration via [`ExchangePlan::note_dirty_cols`], and an owner compares
+/// only its *own* column epochs against the epoch at which it last served
+/// a tile — no cross-rank epoch agreement is needed. The receiver-side
+/// tiles are type-erased because one plan serves any element type; a plan
+/// is in practice reused with a single `T` for its whole life.
+struct FetchCache {
+    epoch: u64,
+    /// Local column index → epoch at which it last changed.
+    col_epoch: HashMap<u32, u64>,
+    /// `(batch, requester)` → last served request. The stage index is
+    /// implied: a rank only owns the stage equal to its own row index.
+    owner_memo: HashMap<(usize, usize), OwnerEntry>,
+    /// `(stage, batch)` → cached padded tile
+    /// (`HashMap<(usize, usize), TileEntry<T>>` behind `Any`).
+    tiles: Option<Box<dyn Any + Send>>,
+    /// Current batch context set by [`ExchangePlan::begin_batch`]; `None`
+    /// (e.g. during the symbolic sweep) bypasses caching.
+    cur_batch: Option<usize>,
+    stats: FetchCacheStats,
+}
+
 /// Per-rank state of the exchange layer: the mode, the reusable
-/// needed-rows scratch, and the monotone fetch-round counter (see the
-/// module docs on tag discipline). One plan lives for a whole run — its
-/// workspace capacity and counter span every stage, batch, and layer.
-#[derive(Debug, Default)]
+/// needed-rows scratch, the monotone fetch-round counter (see the
+/// module docs on tag discipline), and — for iterative sessions — the
+/// cross-iteration fetch cache. One plan lives for a whole run — its
+/// workspace capacity and counter span every stage, batch, and layer; an
+/// [`crate::session::IterSession`] keeps one plan alive across iterations.
+#[derive(Default)]
 pub struct ExchangePlan {
     mode: ExchangeMode,
     ws: SubsetWorkspace,
     fetch_seq: u64,
+    cache: Option<FetchCache>,
+}
+
+impl std::fmt::Debug for ExchangePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExchangePlan")
+            .field("mode", &self.mode)
+            .field("fetch_seq", &self.fetch_seq)
+            .field("cache_enabled", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// The posted-but-unwaited operand movement of one SUMMA stage.
@@ -134,6 +250,7 @@ impl ExchangePlan {
             mode,
             ws: SubsetWorkspace::new(),
             fetch_seq: 0,
+            cache: None,
         }
     }
 
@@ -141,6 +258,100 @@ impl ExchangePlan {
     #[must_use]
     pub fn mode(&self) -> ExchangeMode {
         self.mode
+    }
+
+    /// Turn on the cross-iteration fetch cache. SPMD contract: every rank
+    /// of the run must enable it (the wire protocol differs once a
+    /// receiver starts sending `Unchanged` requests, and the owner can
+    /// only answer them from its memo). Idempotent.
+    pub fn enable_cache(&mut self) {
+        if self.cache.is_none() {
+            self.cache = Some(FetchCache {
+                epoch: 0,
+                col_epoch: HashMap::new(),
+                owner_memo: HashMap::new(),
+                tiles: None,
+                cur_batch: None,
+                stats: FetchCacheStats::default(),
+            });
+        }
+    }
+
+    /// Whether [`ExchangePlan::enable_cache`] was called.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Set the batch context: fetch rounds until the next context change
+    /// are keyed `(stage, batch)` in the cache. No-op when the cache is
+    /// disabled.
+    pub fn begin_batch(&mut self, batch: usize) {
+        if let Some(c) = self.cache.as_mut() {
+            c.cur_batch = Some(batch);
+        }
+    }
+
+    /// Clear the batch context: subsequent fetch rounds (e.g. the symbolic
+    /// sweep, whose structure-only operands are not worth caching) bypass
+    /// the cache entirely.
+    pub fn begin_uncached(&mut self) {
+        if let Some(c) = self.cache.as_mut() {
+            c.cur_batch = None;
+        }
+    }
+
+    /// Advance the cache epoch and mark `dirty` local columns of this
+    /// rank's resident `A` operand as changed. Call once per iteration on
+    /// every rank — even with an empty dirty set — after the session
+    /// updates its iterate. Owners consult these epochs to decide whether
+    /// a previously served tile is still valid.
+    pub fn note_dirty_cols(&mut self, dirty: &[u32]) {
+        if let Some(c) = self.cache.as_mut() {
+            c.epoch += 1;
+            for &col in dirty {
+                c.col_epoch.insert(col, c.epoch);
+            }
+            c.stats.invalidated_cols += dirty.len() as u64;
+        }
+    }
+
+    /// Current cache counters (zeros when the cache is disabled).
+    #[must_use]
+    pub fn cache_stats(&self) -> FetchCacheStats {
+        self.cache.as_ref().map(|c| c.stats).unwrap_or_default()
+    }
+
+    /// The batch the cache is currently keying fetches under, or `None`
+    /// when the cache is disabled or in the uncached (symbolic) context.
+    /// Kernels use this to assert the caller upheld the
+    /// [`ExchangePlan::begin_batch`] contract.
+    #[must_use]
+    pub fn batch_context(&self) -> Option<usize> {
+        self.cache.as_ref().and_then(|c| c.cur_batch)
+    }
+
+    /// The cache key for a fetch round of stage `s`, if caching applies.
+    fn cache_key(&self, s: usize) -> Option<(usize, usize)> {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.cur_batch.map(|b| (s, b)))
+    }
+
+    /// Typed view of the receiver-side tile map, creating it on first use.
+    /// Panics if one plan is reused across element types (not a supported
+    /// pattern — a session is monomorphic in its semiring).
+    fn tiles_mut<T: Copy + Send + Sync + 'static>(
+        &mut self,
+    ) -> &mut HashMap<(usize, usize), TileEntry<T>> {
+        let cache = self.cache.as_mut().expect("tile access requires the cache");
+        cache
+            .tiles
+            .get_or_insert_with(|| {
+                Box::new(HashMap::<(usize, usize), TileEntry<T>>::new()) as Box<dyn Any + Send>
+            })
+            .downcast_mut()
+            .expect("one ExchangePlan fetch cache cannot serve two element types")
     }
 
     /// Blocking stage exchange: deliver stage `s`'s `(Ã, B̃)` operands to
@@ -275,43 +486,180 @@ impl ExchangePlan {
                 grid.j
             );
             for i in (0..q).filter(|&i| i != s) {
-                let needed: Vec<u32> = rank.recv(row, i, req_tag);
-                let req_bytes = 4 * needed.len();
-                let req_cost = rank.machine().send_secs(req_bytes);
-                rank.clock_mut().advance(Step::FetchRequest, req_cost);
-                rank.clock_mut().record_comm(Step::FetchRequest, req_bytes as u64, 1);
-
-                let compact = extract_cols_compact(a_shared, &needed);
-                let rep_bytes = compact.modeled_bytes(r);
-                rank.send(row, i, rep_tag, (compact, a_shared.ncols() as u64));
-                let rep_cost = rank.machine().send_secs(rep_bytes);
-                rank.clock_mut().advance(Step::FetchReply, rep_cost);
-                rank.clock_mut().record_comm(Step::FetchReply, rep_bytes as u64, 1);
+                let req: FetchReq = rank.recv(row, i, req_tag);
+                let rep = self.serve_request(rank, a_shared, i, req, r);
+                rank.send(row, i, rep_tag, rep);
             }
             Arc::clone(a_shared)
         } else {
             let needed = needed_rows(b_recv, &mut self.ws);
-            let req_bytes = 4 * needed.len();
-            rank.send(row, s, req_tag, needed.clone());
-            let req_cost = rank.machine().send_secs(req_bytes);
-            rank.clock_mut().advance(Step::FetchRequest, req_cost);
-            rank.clock_mut().record_comm(Step::FetchRequest, req_bytes as u64, 1);
 
-            let (compact, owner_ncols): (CscMatrix<T>, u64) = rank.recv(row, s, rep_tag);
-            let rep_bytes = compact.modeled_bytes(r);
-            let rep_cost = rank.machine().send_secs(rep_bytes);
-            rank.clock_mut().advance(Step::FetchReply, rep_cost);
-            rank.clock_mut().record_comm(Step::FetchReply, rep_bytes as u64, 1);
+            // Zero-row fast path: nothing of Ã is needed. The messages
+            // still flow — the checker's send/recv pairing stays valid and
+            // SPMD rounds stay aligned — but they carry no payload and
+            // cost no modeled time: a real implementation with persistent
+            // comm-graph knowledge (SpComm3D-style setup, amortized by the
+            // session) would not exchange anything at all.
+            if needed.is_empty() {
+                rank.send(row, s, req_tag, FetchReq::Rows(Vec::new()));
+                rank.clock_mut().record_comm(Step::FetchRequest, 0, 1);
+                let rep: FetchRep<T> = rank.recv(row, s, rep_tag);
+                rank.clock_mut().record_comm(Step::FetchReply, 0, 1);
+                let FetchRep::Empty { nrows, ncols } = rep else {
+                    unreachable!("owner must answer an empty request with Empty")
+                };
+                if let Some(c) = self.cache.as_mut() {
+                    c.stats.empty_rounds += 1;
+                }
+                debug_assert_eq!(ncols as usize, b_recv.nrows());
+                return Arc::new(CscMatrix::zero(nrows as usize, ncols as usize));
+            }
 
-            let a = scatter_cols_padded(&compact, &needed, owner_ncols as usize);
-            debug_assert_eq!(
-                a.ncols(),
-                b_recv.nrows(),
-                "stage {s}: padded fetch operand must conform to B's row slice"
-            );
-            Arc::new(a)
+            let key = self.cache_key(s);
+            let cached_ok = key.is_some_and(|k| {
+                self.tiles_mut::<T>()
+                    .get(&k)
+                    .is_some_and(|e| e.needed == needed)
+            });
+            if cached_ok {
+                rank.send(row, s, req_tag, FetchReq::Unchanged);
+                charge(rank, Step::FetchRequest, 0);
+            } else {
+                rank.send(row, s, req_tag, FetchReq::Rows(needed.clone()));
+                charge(rank, Step::FetchRequest, 4 * needed.len());
+            }
+
+            let rep: FetchRep<T> = rank.recv(row, s, rep_tag);
+            match rep {
+                FetchRep::CacheValid => {
+                    charge(rank, Step::FetchReply, 0);
+                    let k = key.expect("CacheValid only answers Unchanged");
+                    let (tile, saved) = {
+                        let e = self.tiles_mut::<T>().get(&k).expect("hit requires a tile");
+                        (Arc::clone(&e.tile), e.rep_bytes)
+                    };
+                    let stats = &mut self.cache.as_mut().expect("cache").stats;
+                    stats.hits += 1;
+                    stats.bytes_saved += saved;
+                    debug_assert_eq!(tile.ncols(), b_recv.nrows());
+                    tile
+                }
+                FetchRep::Tile(compact, owner_ncols) => {
+                    let rep_bytes = compact.modeled_bytes(r);
+                    charge(rank, Step::FetchReply, rep_bytes);
+                    let a = Arc::new(scatter_cols_padded(&compact, &needed, owner_ncols as usize));
+                    debug_assert_eq!(
+                        a.ncols(),
+                        b_recv.nrows(),
+                        "stage {s}: padded fetch operand must conform to B's row slice"
+                    );
+                    if let Some(k) = key {
+                        self.tiles_mut::<T>().insert(
+                            k,
+                            TileEntry {
+                                needed,
+                                tile: Arc::clone(&a),
+                                rep_bytes: rep_bytes as u64,
+                            },
+                        );
+                        self.cache.as_mut().expect("cache").stats.misses += 1;
+                    }
+                    a
+                }
+                FetchRep::Empty { .. } => {
+                    unreachable!("owner never answers a non-empty request with Empty")
+                }
+            }
         }
     }
+
+    /// Owner side of one fetch round: decide the reply for `requester`'s
+    /// request against this rank's `a_shared`, charging the modeled cost
+    /// of both message legs to this rank's clock (per-side convention —
+    /// the owner, serving `q − 1` peers serially, is the bottleneck).
+    fn serve_request<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        rank: &mut Rank,
+        a_shared: &Arc<CscMatrix<T>>,
+        requester: usize,
+        req: FetchReq,
+        r: usize,
+    ) -> FetchRep<T> {
+        match req {
+            FetchReq::Rows(needed) if needed.is_empty() => {
+                // Zero-row fast path: no extraction, no modeled time.
+                rank.clock_mut().record_comm(Step::FetchRequest, 0, 1);
+                rank.clock_mut().record_comm(Step::FetchReply, 0, 1);
+                if let Some(c) = self.cache.as_mut() {
+                    c.stats.empty_rounds += 1;
+                }
+                FetchRep::Empty {
+                    nrows: a_shared.nrows() as u64,
+                    ncols: a_shared.ncols() as u64,
+                }
+            }
+            FetchReq::Rows(needed) => {
+                charge(rank, Step::FetchRequest, 4 * needed.len());
+                let compact = extract_cols_compact(a_shared, &needed);
+                let rep_bytes = compact.modeled_bytes(r);
+                charge(rank, Step::FetchReply, rep_bytes);
+                if let Some(c) = self.cache.as_mut() {
+                    if let Some(batch) = c.cur_batch {
+                        let epoch = c.epoch;
+                        c.owner_memo.insert(
+                            (batch, requester),
+                            OwnerEntry {
+                                needed,
+                                served_epoch: epoch,
+                            },
+                        );
+                    }
+                }
+                FetchRep::Tile(compact, a_shared.ncols() as u64)
+            }
+            FetchReq::Unchanged => {
+                charge(rank, Step::FetchRequest, 0);
+                let cache = self
+                    .cache
+                    .as_mut()
+                    .expect("Unchanged request reached an owner without a cache (SPMD violation)");
+                let batch = cache
+                    .cur_batch
+                    .expect("Unchanged request outside a batch context (SPMD violation)");
+                let key = (batch, requester);
+                let entry = cache
+                    .owner_memo
+                    .get(&key)
+                    .expect("Unchanged request before any served tile (SPMD violation)");
+                let clean = entry.needed.iter().all(|c| {
+                    cache
+                        .col_epoch
+                        .get(c)
+                        .is_none_or(|&changed| changed <= entry.served_epoch)
+                });
+                if clean {
+                    cache.stats.served_cached += 1;
+                    charge(rank, Step::FetchReply, 0);
+                    FetchRep::CacheValid
+                } else {
+                    let compact = extract_cols_compact(a_shared, &entry.needed);
+                    let epoch = cache.epoch;
+                    cache.owner_memo.get_mut(&key).expect("entry").served_epoch = epoch;
+                    let rep_bytes = compact.modeled_bytes(r);
+                    charge(rank, Step::FetchReply, rep_bytes);
+                    FetchRep::Tile(compact, a_shared.ncols() as u64)
+                }
+            }
+        }
+    }
+}
+
+/// Charge one fetch message leg to this rank's clock: `α + β·bytes`
+/// seconds plus the byte/message counters of `step`.
+fn charge(rank: &mut Rank, step: Step, bytes: usize) {
+    let cost = rank.machine().send_secs(bytes);
+    rank.clock_mut().advance(step, cost);
+    rank.clock_mut().record_comm(step, bytes as u64, 1);
 }
 
 #[cfg(test)]
@@ -389,6 +737,117 @@ mod tests {
         }
         // At least the off-owner ranks must have fetched something.
         assert!(sparse.iter().any(|(_, fb)| *fb > 0), "no fetch traffic recorded");
+    }
+
+    /// Regression (empty-fetch round trip): a receiver whose `needed_rows`
+    /// set is empty must not pay the α request/reply round — the messages
+    /// still flow (checker pairing stays valid) but carry no payload and
+    /// cost no modeled time, and the owner never extracts a compact tile.
+    #[test]
+    fn empty_fetch_round_costs_nothing() {
+        let n = 16usize;
+        let results = run_ranks(4, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let a_local = Arc::new(er_random::<PlusTimesF64>(n, n, 3, 500 + grid.j as u64));
+            // An all-zero B piece: every receiver derives an empty needed set.
+            let b_local = Arc::new(CscMatrix::<f64>::zero(n, n));
+            let mut plan = ExchangePlan::new(ExchangeMode::SparseFetch);
+            for s in 0..grid.pr {
+                let (a_recv, b_recv) = plan
+                    .exchange_stage(
+                        rank,
+                        &grid,
+                        s,
+                        &a_local,
+                        a_local.modeled_bytes(24),
+                        &b_local,
+                        0,
+                        24,
+                        (Step::ABcast, Step::BBcast),
+                    )
+                    .unwrap();
+                assert_eq!(a_recv.ncols(), b_recv.nrows());
+                if grid.row.my_index() != s {
+                    assert_eq!(a_recv.nnz(), 0, "receiver pads an all-zero operand");
+                }
+            }
+            let bd = *rank.clock().breakdown();
+            (
+                bd.secs_of(Step::FetchRequest) + bd.secs_of(Step::FetchReply),
+                bd.bytes_of(Step::FetchRequest) + bd.bytes_of(Step::FetchReply),
+                bd.msgs[Step::FetchRequest as usize] + bd.msgs[Step::FetchReply as usize],
+            )
+        });
+        for (rk, (secs, bytes, msgs)) in results.iter().enumerate() {
+            assert_eq!(*secs, 0.0, "rank {rk}: empty rounds must cost no modeled time");
+            assert_eq!(*bytes, 0, "rank {rk}: empty rounds must move no modeled bytes");
+            assert!(*msgs > 0, "rank {rk}: the send/recv pairing must still happen");
+        }
+    }
+
+    /// The cross-iteration cache: identical structure across rounds turns
+    /// the second round's fetch into an α-only `Unchanged`/`CacheValid`
+    /// exchange; dirtying the operand columns forces a full re-fetch; the
+    /// delivered operands are bit-identical throughout.
+    #[test]
+    fn fetch_cache_hits_then_invalidates() {
+        let n = 16usize;
+        let results = run_ranks(4, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let a_local = Arc::new(er_random::<PlusTimesF64>(n, n, 4, 600 + grid.j as u64));
+            let b_local = Arc::new(er_random::<PlusTimesF64>(n, n, 3, 700 + grid.i as u64));
+            let ab = a_local.modeled_bytes(24);
+            let bb = b_local.modeled_bytes(24);
+            let mut plan = ExchangePlan::new(ExchangeMode::SparseFetch);
+            plan.enable_cache();
+            plan.begin_batch(0);
+            let run_iter = |plan: &mut ExchangePlan, rank: &mut Rank| {
+                let mut ops = Vec::new();
+                for s in 0..grid.pr {
+                    let (a, _) = plan
+                        .exchange_stage(
+                            rank,
+                            &grid,
+                            s,
+                            &a_local,
+                            ab,
+                            &b_local,
+                            bb,
+                            24,
+                            (Step::ABcast, Step::BBcast),
+                        )
+                        .unwrap();
+                    ops.push(a);
+                }
+                ops
+            };
+            let it1 = run_iter(&mut plan, rank);
+            let s1 = plan.cache_stats();
+            plan.note_dirty_cols(&[]); // iteration boundary, nothing changed
+            let it2 = run_iter(&mut plan, rank);
+            let s2 = plan.cache_stats();
+            let all: Vec<u32> = (0..a_local.ncols() as u32).collect();
+            plan.note_dirty_cols(&all); // everything changed
+            let it3 = run_iter(&mut plan, rank);
+            let s3 = plan.cache_stats();
+            for ((x, y), z) in it1.iter().zip(&it2).zip(&it3) {
+                assert!(x.eq_modulo_order(y), "warm operand diverged");
+                assert!(x.eq_modulo_order(z), "re-fetched operand diverged");
+            }
+            (s1, s2.delta(&s1), s3.delta(&s2))
+        });
+        for (rk, (cold, warm, inval)) in results.iter().enumerate() {
+            // Each rank is receiver for pr−1 = 1 stage and owner for 1.
+            assert_eq!(cold.hits, 0, "rank {rk}: cold round cannot hit");
+            assert_eq!(cold.misses, 1, "rank {rk}: cold round fetches once");
+            assert_eq!(warm.hits, 1, "rank {rk}: warm round must hit: {warm:?}");
+            assert_eq!(warm.served_cached, 1, "rank {rk}: owner must serve from memo");
+            assert_eq!(warm.misses, 0, "rank {rk}: warm round must not re-fetch");
+            assert!(warm.bytes_saved > 0, "rank {rk}: a hit saves reply bytes");
+            assert_eq!(inval.hits, 0, "rank {rk}: dirtied round cannot hit");
+            assert_eq!(inval.misses, 1, "rank {rk}: dirtied round re-fetches");
+            assert_eq!(inval.served_cached, 0, "rank {rk}: no stale serve");
+        }
     }
 
     /// The pipelined post/wait pair matches the blocking exchange in both

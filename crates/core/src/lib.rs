@@ -39,6 +39,7 @@ pub mod kernels;
 pub mod memory;
 pub mod model;
 pub mod planner;
+pub mod session;
 pub mod summa2d;
 pub mod summa3d;
 pub mod symbolic;
@@ -46,13 +47,14 @@ pub mod symbolic;
 pub use backend::{Backend, BackendKind, NativeBackend, SimgridBackend};
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
-pub use exchange::{ExchangeMode, ExchangePlan};
+pub use exchange::{ExchangeMode, ExchangePlan, FetchCacheStats};
 pub use harness::{
     run_spgemm, run_spgemm_aat, run_spgemm_row_batched, LayerChoice, RunConfig, RunOutput,
 };
 pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};
 pub use planner::{MachineProfile, PlanReport, PlannerConfig, ProbeConfig};
+pub use session::{IterSession, SessionIterStats};
 pub use summa2d::{MergeSchedule, OverlapMode};
 pub use symbolic::{symbolic3d, SymbolicOutcome};
 

@@ -36,6 +36,13 @@ impl MemoryBudget {
         MemoryBudget::new(usize::MAX / 2)
     }
 
+    /// Whether this is the [`MemoryBudget::unlimited`] sentinel — the case
+    /// where the symbolic batch count is always 1, so an iterative session
+    /// can skip re-running the symbolic sweep every iteration.
+    pub fn is_unlimited(&self) -> bool {
+        self.total_bytes >= usize::MAX / 2
+    }
+
     /// Per-process budget `M/p`.
     pub fn per_process(&self, p: usize) -> usize {
         self.total_bytes / p

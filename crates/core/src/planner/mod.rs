@@ -68,6 +68,12 @@ pub struct PlannerConfig {
     /// Charge the Symbolic3D pass a real run would perform (disable when
     /// comparing against sweeps that force the batch count).
     pub include_symbolic: bool,
+    /// Number of times the application repeats the multiplication over
+    /// resident operands (an iterative `IterSession` run). One-time costs
+    /// — the skippable symbolic sweep and SparseFetch request-index setup
+    /// — are amortized over this count, so 1 iteration and 20 can pick
+    /// different winners. Default 1 (single-shot).
+    pub iterations: usize,
 }
 
 impl PlannerConfig {
@@ -82,6 +88,7 @@ impl PlannerConfig {
             overlaps: vec![OverlapMode::Blocking, OverlapMode::Overlapped],
             exchanges: vec![ExchangeMode::DenseBcast, ExchangeMode::SparseFetch],
             include_symbolic: true,
+            iterations: 1,
         }
     }
 
@@ -98,6 +105,7 @@ impl PlannerConfig {
             overlaps: vec![cfg.overlap],
             exchanges: vec![cfg.exchange],
             include_symbolic: cfg.forced_batches.is_none(),
+            iterations: 1,
         }
     }
 }
@@ -150,6 +158,7 @@ pub fn plan<T: Copy, U: Copy>(
                 &cfg.machine,
                 &cfg.budget,
                 cfg.include_symbolic,
+                cfg.iterations,
                 c,
             )
         })
@@ -163,6 +172,7 @@ pub fn plan<T: Copy, U: Copy>(
     Ok(PlanReport {
         p,
         machine_name: cfg.machine.name.to_string(),
+        iterations: cfg.iterations,
         probe_sampled: !est.is_exact(),
         probe_cols: est.cols.len(),
         probe_total_cols: est.total_cols,
@@ -314,6 +324,65 @@ mod tests {
             dense.steps.abcast,
             sparse.steps.fetch
         );
+    }
+
+    #[test]
+    fn iteration_amortization_is_exact_and_monotone() {
+        let (a, b) = operands();
+        let base = PlannerConfig::new(Machine::knl_mini(), MemoryBudget::unlimited());
+        let rep1 = plan(16, &a, &b, &base).unwrap();
+        let mut cfg20 = base;
+        cfg20.iterations = 20;
+        let rep20 = plan(16, &a, &b, &cfg20).unwrap();
+        for c1 in rep1.ranked.iter().filter(|c| c.feasible()) {
+            let c20 = rep20
+                .ranked
+                .iter()
+                .find(|c| c.candidate == c1.candidate)
+                .unwrap();
+            // Per-iteration identity: warm + one_time/N.
+            let expect = (c1.total_s - c1.one_time_s) + c1.one_time_s / 20.0;
+            assert!(
+                (c20.total_s - expect).abs() <= 1e-12 * c1.total_s,
+                "{}: got {} want {}",
+                c1.candidate.label(),
+                c20.total_s,
+                expect
+            );
+            // More iterations never make a candidate look slower.
+            assert!(c20.total_s <= c1.total_s + 1e-15);
+            // Unlimited budget ⇒ b = 1 ⇒ the symbolic sweep is one-time.
+            assert!(c1.one_time_s > 0.0, "{}", c1.candidate.label());
+        }
+        assert!(rep20.to_table().contains("per-iteration averages"));
+    }
+
+    #[test]
+    fn iteration_count_flips_the_exchange_winner() {
+        // Workload tuned so SparseFetch's one-time request-index setup
+        // sinks it on a single shot, while its smaller warm-iteration
+        // replies win once that setup is amortized: hypersparse-ish A
+        // (small replies) against a denser B (large needed sets, so large
+        // request indices). Pure-bandwidth machine isolates moved bytes;
+        // everything but the exchange mode is pinned, so the flip can only
+        // come from amortization.
+        let mut machine = Machine::knl_mini();
+        machine.alpha = 0.0;
+        let mut cfg = PlannerConfig::new(machine, MemoryBudget::unlimited());
+        cfg.kernels = vec![KernelStrategy::New];
+        cfg.overlaps = vec![OverlapMode::Blocking];
+        cfg.layers = Some(vec![4]);
+        cfg.probe = ProbeConfig::exact();
+        let a = er_random::<PlusTimesF64>(4096, 4096, 4, 91);
+        let b = er_random::<PlusTimesF64>(4096, 4096, 8, 92);
+
+        let winner_at = |iters: usize| -> ExchangeMode {
+            let mut c = cfg.clone();
+            c.iterations = iters;
+            plan(16, &a, &b, &c).unwrap().winner().unwrap().candidate.exchange
+        };
+        assert_eq!(winner_at(1), ExchangeMode::DenseBcast);
+        assert_eq!(winner_at(20), ExchangeMode::SparseFetch);
     }
 
     #[test]

@@ -260,7 +260,15 @@ pub struct CandidatePrediction {
     pub compute_s: f64,
     /// Broadcast seconds hidden under multiply (overlapped mode only).
     pub hidden_s: f64,
-    /// Predicted makespan (`steps.sum() − hidden_s`; `∞` when infeasible).
+    /// One-time costs an iterative session amortizes over its run:
+    /// the symbolic sweep (when a single batch lets the session skip
+    /// re-running it) plus the SparseFetch request-index bytes (memoized
+    /// `needed_rows` make warm-iteration requests ~free). Zero for
+    /// single-shot plans.
+    pub one_time_s: f64,
+    /// Predicted **per-iteration** makespan: warm-iteration time plus
+    /// `one_time_s / iterations`. With `iterations = 1` this is exactly
+    /// the single-shot `steps.sum() − hidden_s` (`∞` when infeasible).
     pub total_s: f64,
     /// Predicted per-process peak bytes (inputs + one batch's unmerged
     /// intermediate).
@@ -295,6 +303,7 @@ fn infeasible(
         bandwidth_s: 0.0,
         compute_s: 0.0,
         hidden_s: 0.0,
+        one_time_s: 0.0,
         total_s: f64::INFINITY,
         peak_bytes_per_proc: usize::MAX,
         note,
@@ -305,6 +314,16 @@ fn infeasible(
 ///
 /// `include_symbolic` charges the Symbolic3D pass a real run would
 /// perform; sweeps that force the batch count set it to `false`.
+///
+/// `iterations` is the number of times the application will repeat the
+/// multiplication over resident operands (an `IterSession`-style run);
+/// one-time setup costs — the symbolic sweep when a single batch lets the
+/// session skip re-running it, and the SparseFetch request-index bytes
+/// that memoized `needed_rows` sets make ~free on warm iterations — are
+/// divided by it, so the ranking answers "which configuration is fastest
+/// *per iteration* over the whole run". `iterations = 1` reproduces the
+/// single-shot prediction exactly.
+#[allow(clippy::too_many_arguments)] // SPMD-style bundle of model inputs
 pub fn predict_candidate(
     p: usize,
     shape: &GridShape,
@@ -312,6 +331,7 @@ pub fn predict_candidate(
     machine: &Machine,
     budget: &MemoryBudget,
     include_symbolic: bool,
+    iterations: usize,
     candidate: Candidate,
 ) -> CandidatePrediction {
     debug_assert_eq!(shape.l, candidate.layers);
@@ -475,34 +495,39 @@ pub fn predict_candidate(
     // receiver derives its needed set from; the occupancy of the stage's
     // inner-dimension slice gives the expected fraction of A columns
     // actually shipped.
-    let fetch_sweep = |b_piece: f64| -> (f64, f64) {
+    // Returns (latency, request-index bytes time, reply bytes time); the
+    // request term is separated because an iterative session's memoized
+    // `needed_rows` sets turn warm-iteration requests into α-only rounds.
+    let fetch_sweep = |b_piece: f64| -> (f64, f64, f64) {
         if pr <= 1 {
-            return (0.0, 0.0); // A is already local to the row.
+            return (0.0, 0.0, 0.0); // A is already local to the row.
         }
         let bins = (shape.inner as f64 / (pr * l) as f64).max(1.0);
         let needed = occ(b_piece, bins);
         let frac = (needed / bins).min(1.0);
         let lat = pr as f64 * 2.0 * (pr - 1) as f64 * machine.alpha;
-        let bw = (pr - 1) as f64
-            * machine.beta
-            * (pr as f64 * 4.0 * needed + frac * (r as u64 * shape.sweep_nnz_a) as f64);
-        (lat, bw)
+        let req_bw = (pr - 1) as f64 * machine.beta * pr as f64 * 4.0 * needed;
+        let rep_bw =
+            (pr - 1) as f64 * machine.beta * frac * (r as u64 * shape.sweep_nnz_a) as f64;
+        (lat, req_bw, rep_bw)
     };
 
-    let (ab_lat, ab_bw, fetch_lat, fetch_bw) = match candidate.exchange {
+    let (ab_lat, ab_bw, fetch_lat, fetch_req_bw, fetch_rep_bw) = match candidate.exchange {
         ExchangeMode::DenseBcast => (
             b * pr as f64 * machine.alpha * lg_pr,
             b * machine.beta * (r as u64 * shape.sweep_nnz_a) as f64,
+            0.0,
             0.0,
             0.0,
         ),
         ExchangeMode::SparseFetch => {
             // A batch sees 1/b of B's columns, so the per-stage B piece —
             // and with it the needed set — shrinks as b grows.
-            let (lat, bw) = fetch_sweep(shape.sweep_nnz_b as f64 / (pr as f64 * b));
-            (0.0, 0.0, b * lat, b * bw)
+            let (lat, req, rep) = fetch_sweep(shape.sweep_nnz_b as f64 / (pr as f64 * b));
+            (0.0, 0.0, b * lat, b * req, b * rep)
         }
     };
+    let fetch_bw = fetch_req_bw + fetch_rep_bw;
     let bb_lat = b * pr as f64 * machine.alpha * lg_pr;
     let bb_bw = machine.beta * (r as u64 * shape.sweep_nnz_b) as f64;
     let (a2a_lat, a2a_bw) = if l > 1 {
@@ -534,8 +559,8 @@ pub fn predict_candidate(
                     + machine.beta * (r as u64 * shape.sweep_nnz_a) as f64
             }
             ExchangeMode::SparseFetch => {
-                let (lat, bw) = fetch_sweep(shape.sweep_nnz_b as f64 / pr as f64);
-                lat + bw
+                let (lat, req, rep) = fetch_sweep(shape.sweep_nnz_b as f64 / pr as f64);
+                lat + req + rep
             }
         };
         let reduce = 8.0 * (machine.alpha * lg_p + machine.beta * 8.0);
@@ -578,6 +603,25 @@ pub fn predict_candidate(
         }
     };
 
+    // ---- Iteration amortization (session model) ----------------------
+    // Two costs are one-time for a resident-operand iterative run:
+    //  * the symbolic sweep, when it concludes b = 1 — the session skips
+    //    re-running it (re-batching decisions can't change);
+    //  * SparseFetch request-index bytes — warm iterations send a tiny
+    //    "unchanged" token instead of the full `needed_rows` set (the α
+    //    round and the replies stay per-iteration).
+    // Reported total_s is the per-iteration average, so one number still
+    // ranks candidates and iterations = 1 degenerates to the single shot.
+    let mut one_time = 0.0;
+    if batches == 1 {
+        one_time += sym_comm + sym_comp;
+    }
+    if candidate.exchange == ExchangeMode::SparseFetch {
+        one_time += fetch_req_bw;
+    }
+    let n_iter = iterations.max(1) as f64;
+    let single_shot = steps.sum() - hidden;
+
     CandidatePrediction {
         candidate,
         batches,
@@ -588,7 +632,8 @@ pub fn predict_candidate(
         bandwidth_s: ab_bw + fetch_bw + bb_bw + a2a_bw,
         compute_s: t_mult + t_ml + t_mf + sym_comp,
         hidden_s: hidden,
-        total_s: steps.sum() - hidden,
+        one_time_s: one_time,
+        total_s: (single_shot - one_time) + one_time / n_iter,
         peak_bytes_per_proc,
         note: String::new(),
     }

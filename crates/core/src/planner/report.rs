@@ -12,6 +12,9 @@ pub struct PlanReport {
     pub p: usize,
     /// Machine the predictions used.
     pub machine_name: String,
+    /// Iteration count one-time costs were amortized over (1 = single
+    /// shot; `total_s` values are per-iteration averages).
+    pub iterations: usize,
     /// Did the probe sample (`true`) or see every column (`false`)?
     pub probe_sampled: bool,
     /// Columns the probe actually ran LocalSymbolic on.
@@ -45,6 +48,13 @@ impl PlanReport {
             self.probe_flops,
             self.probe_nnz_c,
         ));
+        if self.iterations > 1 {
+            out.push_str(&format!(
+                "iterations: {} — totals are per-iteration averages with one-time \
+                 setup (skippable symbolic, fetch request indices) amortized\n",
+                self.iterations
+            ));
+        }
         out.push_str(&format!(
             "{:<4} {:<22} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}  {}\n",
             "rank", "candidate", "batches", "total(s)", "latency(s)", "bandw(s)", "compute(s)",
@@ -89,6 +99,12 @@ impl PlanReport {
             ));
             if w.hidden_s > 0.0 {
                 out.push_str(&format!(", {:.4e} s hidden by overlap", w.hidden_s));
+            }
+            if self.iterations > 1 && w.one_time_s > 0.0 {
+                out.push_str(&format!(
+                    ", {:.4e} s one-time amortized over {} iterations",
+                    w.one_time_s, self.iterations
+                ));
             }
             out.push_str(")\n");
             for c in self.ranked.iter().filter(|c| !std::ptr::eq(*c, w)) {
@@ -172,6 +188,7 @@ mod tests {
             bandwidth_s: total * 0.3,
             compute_s: total * 0.5,
             hidden_s: 0.0,
+            one_time_s: 0.0,
             total_s: if constraint == BindingConstraint::InputsTooLarge {
                 f64::INFINITY
             } else {
@@ -190,6 +207,7 @@ mod tests {
         PlanReport {
             p: 16,
             machine_name: "knl".into(),
+            iterations: 1,
             probe_sampled: false,
             probe_cols: 100,
             probe_total_cols: 100,

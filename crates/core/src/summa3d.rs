@@ -32,6 +32,13 @@ use std::sync::Arc;
 /// post them; the returned [`StagePending`] must then be passed back in as
 /// the next batch's `carry`. Blocking callers pass `None`/`None` and get
 /// `None` back.
+///
+/// Cache-keying contract: when `plan` has its cross-iteration fetch cache
+/// enabled, the caller must have called [`ExchangePlan::begin_batch`] with
+/// this batch's index before entering — even under pipelining, sparse
+/// fetches resolve at wait-time *inside this call*, so they key under the
+/// batch set here, not under whichever batch posted the overlapped
+/// broadcast. `batched_summa3d` upholds this; direct callers must too.
 // SPMD plumbing (grid + matrices + policies); the paired-with-carry return
 // is what the pipeline protocol is.
 #[allow(clippy::too_many_arguments, clippy::type_complexity)]
@@ -55,6 +62,11 @@ pub fn summa3d_batch<S: Semiring>(
     debug_assert_eq!(b_batch.ncols(), batch_global_cols.len());
     debug_assert_eq!(piece_offsets.len(), grid.l + 1);
     debug_assert_eq!(*piece_offsets.last().unwrap(), b_batch.ncols());
+    debug_assert!(
+        !plan.cache_enabled() || plan.batch_context().is_some(),
+        "fetch cache enabled but no batch context: call plan.begin_batch() \
+         before summa3d_batch or cached tiles will key incorrectly"
+    );
 
     // Per-layer 2D SUMMA producing D̃⁽ᵏ⁾ (Alg. 2 line 3).
     let (d, next_carry) = match overlap {

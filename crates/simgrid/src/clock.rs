@@ -128,6 +128,26 @@ impl StepBreakdown {
         self.bytes[step as usize]
     }
 
+    /// Total modeled bytes over every step (including `Other`).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Step-wise difference against an `earlier` snapshot of the same
+    /// monotone clock — the per-iteration breakdown of an iterative
+    /// session is the delta between snapshots taken around one iteration.
+    #[must_use]
+    pub fn delta(&self, earlier: &StepBreakdown) -> StepBreakdown {
+        let mut d = StepBreakdown::default();
+        for i in 0..N_STEPS {
+            d.secs[i] = self.secs[i] - earlier.secs[i];
+            d.bytes[i] = self.bytes[i] - earlier.bytes[i];
+            d.msgs[i] = self.msgs[i] - earlier.msgs[i];
+            d.overlap_secs[i] = self.overlap_secs[i] - earlier.overlap_secs[i];
+        }
+        d
+    }
+
     /// Total modeled seconds over algorithm steps (excludes `Other`).
     pub fn total(&self) -> f64 {
         ALL_STEPS
