@@ -82,6 +82,11 @@ pub struct MclParams {
     /// Memoize SparseFetch state across session iterations (no effect on
     /// the legacy driver or under `DenseBcast`).
     pub cache: bool,
+    /// Schedule-perturbation seed: `Some(seed)` injects deterministic
+    /// wakeup-order jitter at every communication point (results must be
+    /// bit-identical under any seed); `None` follows the
+    /// `SPGEMM_PERTURB_SEED` environment variable.
+    pub perturb: Option<u64>,
 }
 
 impl MclParams {
@@ -103,7 +108,28 @@ impl MclParams {
             backend: BackendKind::default(),
             session: true,
             cache: true,
+            perturb: None,
         }
+    }
+}
+
+/// Spawn the virtual cluster honouring [`MclParams::perturb`]: an explicit
+/// seed wins; `None` falls back to the `SPGEMM_PERTURB_SEED` environment
+/// variable (inside [`run_ranks`]).
+fn run_cluster<R, F>(params: &MclParams, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    match params.perturb {
+        Some(seed) => spgemm_simgrid::run_ranks_seeded(
+            params.p,
+            params.machine,
+            spgemm_simgrid::CheckMode::default_mode(),
+            Some(seed),
+            f,
+        ),
+        None => run_ranks(params.p, params.machine, f),
     }
 }
 
@@ -319,7 +345,7 @@ fn mcl_iteration(
     let n = m.nrows();
     let m_arc = Arc::clone(m);
     let params = *params;
-    let results = run_ranks(params.p, params.machine, move |rank| {
+    let results = run_cluster(&params, move |rank| {
         let grid = Grid3D::new(rank, params.layers);
         let da = scatter(
             rank,
@@ -432,7 +458,7 @@ fn markov_cluster_session(
     let m_arc = Arc::new(m0);
     let params = *params;
     type RankIters = Vec<(SessionIterStats, f64, u64)>;
-    let results = run_ranks(params.p, params.machine, move |rank| {
+    let results = run_cluster(&params, move |rank| {
         let grid = Grid3D::new(rank, params.layers);
         let mut sess = IterSession::<PlusTimesF64>::new(
             rank,

@@ -21,6 +21,11 @@
 //!                 [--machine NAME | --profile PROFILE.json]
 //! spgemm triangles --input M.mtx --procs P [--layers L]
 //! spgemm overlap  --input M.mtx --procs P [--layers L] [--min-shared S]
+//! spgemm audit    [--sweep [--procs "4,16,64,256"]] [--json]
+//!                 [--inject skip-wait|wrong-fetch-tag|skip-collective|wrong-root]
+//!                 [--shape fig3-mcl|fig4-friendster|fig4-isolates] [--procs P]
+//!                 [--layers L] [--batches B | --auto-target T]
+//!                 [--exchange dense|sparse] [--overlap] [--iters N]
 //! ```
 //!
 //! `plan` prints the planner's ranked candidate report and runs nothing;
@@ -40,6 +45,20 @@
 //! wall-clock seconds to the per-step report; communication stays modeled.
 //! Combining `--backend native` with `--calibrate-out` fits a machine
 //! profile from the measured kernel times of the run.
+//!
+//! `audit` extracts communication schedules **symbolically** — no matrices
+//! are built, no payload bytes move — and verifies cross-rank agreement,
+//! deadlock-freedom of the fetch conversation, nonblocking-handle
+//! discipline, and the Eq. 2 memory bound. `--sweep` enumerates the
+//! planner's full candidate grid; `--inject` plants a named schedule bug
+//! to demonstrate detection (the run then *fails* with the configuration
+//! and offending event); `--json` emits a machine-readable report. The
+//! command exits nonzero iff any audited configuration has a violation.
+//!
+//! `multiply --perturb-seed S` and `mcl --perturb-seed S` run the
+//! simulation under seeded schedule perturbation (deterministic
+//! wakeup-order jitter at every communication point); results must be
+//! bit-identical under any seed.
 
 #![forbid(unsafe_code)]
 
@@ -73,7 +92,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "run with a subcommand: gen | info | multiply | plan | mcl | triangles | overlap"
+                "run with a subcommand: gen | info | multiply | plan | mcl | triangles | \
+                 overlap | audit"
             );
             ExitCode::FAILURE
         }
@@ -89,6 +109,7 @@ fn run(args: &Args) -> Result<(), String> {
         "mcl" => cmd_mcl(args),
         "triangles" => cmd_triangles(args),
         "overlap" => cmd_overlap(args),
+        "audit" => cmd_audit(args),
         other => Err(format!("unknown subcommand: {other}")),
     }
 }
@@ -260,6 +281,9 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     if args.flag("check") {
         cfg.check = CheckMode::Check;
     }
+    if let Some(s) = args.opt("perturb-seed") {
+        cfg.perturb = Some(s.parse().map_err(|_| "bad --perturb-seed")?);
+    }
     if args.opt("trace").is_some() {
         cfg.trace = true;
     }
@@ -402,6 +426,9 @@ fn cmd_mcl(args: &Args) -> Result<(), String> {
     if args.flag("no-cache") {
         params.cache = false;
     }
+    if let Some(s) = args.opt("perturb-seed") {
+        params.perturb = Some(s.parse().map_err(|_| "bad --perturb-seed")?);
+    }
     let result = markov_cluster(&a, &params).map_err(|e| e.to_string())?;
     println!("iter  batches  chaos      SpGEMM(s)       nnz   bytes(MB)  hit/miss  inval");
     for (i, it) in result.per_iter.iter().enumerate() {
@@ -429,6 +456,107 @@ fn cmd_mcl(args: &Args) -> Result<(), String> {
             .collect();
         std::fs::write(path, body).map_err(|e| e.to_string())?;
         println!("wrote labels to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    use spgemm_core::audit::{self, AuditConfig, AuditFault, BatchSpec, ConfigOutcome};
+
+    let fault = match args.opt("inject") {
+        Some(name) => Some(AuditFault::parse(name).ok_or_else(|| {
+            format!(
+                "unknown fault: {name} (expected one of: {})",
+                AuditFault::NAMES.join(", ")
+            )
+        })?),
+        None => None,
+    };
+    let report = if args.flag("sweep") {
+        let ps: Vec<usize> = args
+            .opt("procs")
+            .unwrap_or("4,16,64,256")
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad --procs entry: {s:?}"))
+            })
+            .collect::<Result<_, String>>()?;
+        audit::sweep(&ps, fault)
+    } else {
+        let shape_name = args.opt("shape").unwrap_or("fig3-mcl");
+        let shape = audit::workload_shapes()
+            .into_iter()
+            .find(|s| s.name == shape_name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown shape: {shape_name} (expected fig3-mcl | fig4-friendster | \
+                     fig4-isolates)"
+                )
+            })?;
+        let batch = if let Some(t) = args.opt("auto-target") {
+            BatchSpec::Budget {
+                target: t.parse().map_err(|_| "bad --auto-target")?,
+            }
+        } else {
+            BatchSpec::Forced(args.get_or("batches", 1usize)?)
+        };
+        let cfg = AuditConfig {
+            shape,
+            p: args.get_or("procs", 16usize)?,
+            l: args.get_or("layers", 1usize)?,
+            batch,
+            exchange: match args.opt("exchange") {
+                Some(x) => ExchangeMode::parse(x)?,
+                None => ExchangeMode::default(),
+            },
+            overlap: if args.flag("overlap") {
+                OverlapMode::Overlapped
+            } else {
+                OverlapMode::Blocking
+            },
+            iterations: args.get_or("iters", 1usize)?,
+        };
+        audit::AuditReport {
+            results: vec![audit::audit_config(&cfg, fault)],
+        }
+    };
+
+    if args.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "audited {} configuration(s): {} ok, {} infeasible, {} events extracted \
+             (payload-free)",
+            report.results.len(),
+            report.ok_count(),
+            report.infeasible_count(),
+            report.total_events()
+        );
+        if !args.flag("sweep") {
+            for r in &report.results {
+                match &r.outcome {
+                    ConfigOutcome::Ok { nbatches, events } => {
+                        println!("{}: clean ({events} events, b={nbatches})", r.label);
+                    }
+                    ConfigOutcome::Infeasible(reason) => {
+                        println!("{}: infeasible ({reason})", r.label);
+                    }
+                    ConfigOutcome::Violated(_) => {}
+                }
+            }
+        }
+        for (label, vs) in report.violations() {
+            println!("\n{label}:");
+            for v in vs {
+                println!("{v}");
+            }
+        }
+    }
+    let bad = report.violations().len();
+    if bad > 0 {
+        return Err(format!("{bad} configuration(s) with schedule violations"));
     }
     Ok(())
 }

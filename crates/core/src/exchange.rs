@@ -52,7 +52,22 @@ use std::sync::Arc;
 /// High bits reserved for fetch tags so they can never collide with the
 /// raw point-to-point tags used elsewhere (e.g. the transpose exchange's
 /// `0x7A_0001`), even on a shared communicator.
-const FETCH_TAG_BASE: u64 = 0xFE << 48;
+pub const FETCH_TAG_BASE: u64 = 0xFE << 48;
+
+/// Request tag of fetch round `seq` (receiver → owner). Exposed so the
+/// schedule auditor ([`crate::audit`]) derives the exact wire tags a real
+/// run uses; [`ExchangePlan`] routes through the same function.
+#[must_use]
+pub fn fetch_req_tag(seq: u64) -> u64 {
+    FETCH_TAG_BASE + 2 * seq
+}
+
+/// Reply tag of fetch round `seq` (owner → receiver), paired with
+/// [`fetch_req_tag`].
+#[must_use]
+pub fn fetch_rep_tag(seq: u64) -> u64 {
+    fetch_req_tag(seq) + 1
+}
 
 /// Both stage operands `(Ã, B̃)` as delivered to this rank.
 pub type OperandPair<T> = (Arc<CscMatrix<T>>, Arc<CscMatrix<T>>);
@@ -94,8 +109,11 @@ impl ExchangeMode {
     pub const ALL: [ExchangeMode; 2] = [ExchangeMode::DenseBcast, ExchangeMode::SparseFetch];
 }
 
-/// Wire request of one fetch round (receiver → stage owner).
-enum FetchReq {
+/// Wire request of one fetch round (receiver → stage owner). Public so
+/// protocol-negative tests (tag collisions, unmatched receives) can put
+/// real fetch payloads on the wire.
+#[derive(Debug)]
+pub enum FetchReq {
     /// Full needed-column index set: the cold path, and the path taken
     /// whenever the receiver's structure changed or caching is off. An
     /// empty set triggers the zero-row fast path on the owner.
@@ -107,8 +125,9 @@ enum FetchReq {
     Unchanged,
 }
 
-/// Wire reply of one fetch round (stage owner → receiver).
-enum FetchRep<T> {
+/// Wire reply of one fetch round (stage owner → receiver). Public for the
+/// same protocol-negative tests as [`FetchReq`].
+pub enum FetchRep<T> {
     /// Compact column-subset tile plus the owner's operand width.
     Tile(CscMatrix<T>, u64),
     /// Zero-row fast path: the receiver needed nothing, so only the
@@ -117,6 +136,24 @@ enum FetchRep<T> {
     /// Every column the receiver's cached tile covers is unchanged since
     /// it was served — reuse it as-is.
     CacheValid,
+}
+
+// Manual impl: the derive would demand `T: Debug` *and* `T: Copy` (the
+// bound `CscMatrix<T>: Debug` carries), which no caller needs.
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for FetchRep<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchRep::Tile(tile, width) => {
+                f.debug_tuple("Tile").field(tile).field(width).finish()
+            }
+            FetchRep::Empty { nrows, ncols } => f
+                .debug_struct("Empty")
+                .field("nrows", nrows)
+                .field("ncols", ncols)
+                .finish(),
+            FetchRep::CacheValid => f.write_str("CacheValid"),
+        }
+    }
 }
 
 /// Counters of the cross-iteration fetch cache (and the zero-row fast
@@ -471,8 +508,8 @@ impl ExchangePlan {
         }
         let seq = self.fetch_seq;
         self.fetch_seq += 1;
-        let req_tag = FETCH_TAG_BASE + 2 * seq;
-        let rep_tag = req_tag + 1;
+        let req_tag = fetch_req_tag(seq);
+        let rep_tag = fetch_rep_tag(seq);
         let me = row.my_index();
 
         if me == s {
@@ -542,6 +579,12 @@ impl ExchangePlan {
                     stats.hits += 1;
                     stats.bytes_saved += saved;
                     debug_assert_eq!(tile.ncols(), b_recv.nrows());
+                    spgemm_sparse::debug_validate!(
+                        *tile,
+                        spgemm_sparse::Sortedness::Sorted,
+                        "replayed cached fetch tile (stage {s}, batch {})",
+                        k.1
+                    );
                     tile
                 }
                 FetchRep::Tile(compact, owner_ncols) => {
@@ -848,6 +891,61 @@ mod tests {
             assert_eq!(inval.misses, 1, "rank {rk}: dirtied round re-fetches");
             assert_eq!(inval.served_cached, 0, "rank {rk}: no stale serve");
         }
+    }
+
+    /// Regression for the cache-replay validation hook: a corrupted cached
+    /// tile (out-of-bounds row index injected between iterations) must be
+    /// caught by `debug_validate!` the moment a `CacheValid` reply replays
+    /// it, not flow silently into the multiply kernel.
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_validate! only fires in debug builds"
+    )]
+    #[should_panic(expected = "invariant violation in replayed cached fetch tile")]
+    fn corrupted_cached_tile_is_caught_on_replay() {
+        let n = 16usize;
+        run_ranks(4, Machine::knl(), move |rank| {
+            let grid = Grid3D::new(rank, 1);
+            let a_local = Arc::new(er_random::<PlusTimesF64>(n, n, 4, 600 + grid.j as u64));
+            let b_local = Arc::new(er_random::<PlusTimesF64>(n, n, 3, 700 + grid.i as u64));
+            let ab = a_local.modeled_bytes(24);
+            let bb = b_local.modeled_bytes(24);
+            let mut plan = ExchangePlan::new(ExchangeMode::SparseFetch);
+            plan.enable_cache();
+            plan.begin_batch(0);
+            let run_iter = |plan: &mut ExchangePlan, rank: &mut Rank| {
+                for s in 0..grid.pr {
+                    let _ = plan
+                        .exchange_stage(
+                            rank,
+                            &grid,
+                            s,
+                            &a_local,
+                            ab,
+                            &b_local,
+                            bb,
+                            24,
+                            (Step::ABcast, Step::BBcast),
+                        )
+                        .unwrap();
+                }
+            };
+            run_iter(&mut plan, rank);
+            // Corrupt every cached tile in place: same shape and needed
+            // set (so the Unchanged/CacheValid protocol still engages),
+            // but one row index pushed out of bounds.
+            for entry in plan.tiles_mut::<f64>().values_mut() {
+                let (nrows, ncols, colptr, mut rowidx, vals, sorted) =
+                    entry.tile.as_ref().clone().into_parts();
+                assert!(!rowidx.is_empty(), "test needs a non-empty cached tile");
+                rowidx[0] = nrows as u32 + 7;
+                entry.tile =
+                    Arc::new(CscMatrix::from_parts_raw(nrows, ncols, colptr, rowidx, vals, sorted));
+            }
+            plan.note_dirty_cols(&[]); // iteration boundary, nothing changed
+            run_iter(&mut plan, rank); // CacheValid replay must panic here
+        });
     }
 
     /// The pipelined post/wait pair matches the blocking exchange in both

@@ -16,7 +16,9 @@ use crate::model::validate_grid;
 use crate::planner::{self, PlanReport, PlannerConfig};
 use crate::symbolic::SymbolicOutcome;
 use crate::{CoreError, Result};
-use spgemm_simgrid::{max_breakdown, run_ranks_checked, CheckMode, Grid3D, Machine, StepBreakdown};
+use spgemm_simgrid::{
+    max_breakdown, run_ranks_checked, run_ranks_seeded, CheckMode, Grid3D, Machine, StepBreakdown,
+};
 use spgemm_sparse::par::RangeBalance;
 use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
 use std::sync::Arc;
@@ -74,6 +76,12 @@ pub struct RunConfig {
     /// [`BackendKind::default_kind`]: `Simgrid` unless `SPGEMM_BACKEND`
     /// selects otherwise.
     pub backend: BackendKind,
+    /// Schedule-perturbation seed: when set, every rank injects
+    /// deterministic seed-derived scheduler jitter at communication
+    /// points, permuting thread wakeup order at rendezvous. Results must
+    /// be bit-identical under any seed. Defaults to the
+    /// `SPGEMM_PERTURB_SEED` environment variable (none if unset).
+    pub perturb: Option<u64>,
 }
 
 impl RunConfig {
@@ -95,6 +103,7 @@ impl RunConfig {
             exchange: ExchangeMode::DenseBcast,
             check: CheckMode::default_mode(),
             backend: BackendKind::default_kind(),
+            perturb: None,
         }
     }
 
@@ -173,6 +182,20 @@ pub struct RunOutput<T: Copy> {
     pub load_balance: RangeBalance,
 }
 
+/// Spawn the simulated cluster honouring [`RunConfig::perturb`]: an
+/// explicit seed wins; `None` falls back to [`run_ranks_checked`], whose
+/// default is the `SPGEMM_PERTURB_SEED` environment variable.
+fn run_cluster<R, F>(cfg: &RunConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut spgemm_simgrid::Rank) -> R + Send + Sync,
+{
+    match cfg.perturb {
+        Some(seed) => run_ranks_seeded(cfg.p, cfg.machine, cfg.check, Some(seed), f),
+        None => run_ranks_checked(cfg.p, cfg.machine, cfg.check, f),
+    }
+}
+
 struct PerRank<T: Copy> {
     breakdown: StepBreakdown,
     peak: usize,
@@ -209,7 +232,7 @@ pub fn run_spgemm<S: Semiring>(
     let (m, n) = (a.nrows(), b.ncols());
     let cfg_copy = *cfg;
 
-    let results: Vec<Result<PerRank<S::T>>> = run_ranks_checked(cfg.p, cfg.machine, cfg.check, move |rank| {
+    let results: Vec<Result<PerRank<S::T>>> = run_cluster(cfg, move |rank| {
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }
@@ -285,7 +308,7 @@ pub fn run_spgemm_aat<S: Semiring>(
     let (m, n) = (a.nrows(), a.nrows());
     let cfg_copy = *cfg;
 
-    let results: Vec<Result<PerRank<S::T>>> = run_ranks_checked(cfg.p, cfg.machine, cfg.check, move |rank| {
+    let results: Vec<Result<PerRank<S::T>>> = run_cluster(cfg, move |rank| {
         if cfg_copy.trace {
             rank.clock_mut().enable_tracing();
         }

@@ -25,11 +25,15 @@
 //! point-to-point fetch), [`kernels`] (the *previous* vs *new*
 //! local-kernel strategies of Sec. IV-D), [`memory`] (the `r`-bytes-per-
 //! nonzero budget model and runtime peak tracking), [`model`] (the
-//! analytic Table II/III cost evaluator), and [`harness`] (one-call
-//! scatter→multiply→gather drivers used by tests, examples and benches).
+//! analytic Table II/III cost evaluator), [`harness`] (one-call
+//! scatter→multiply→gather drivers used by tests, examples and benches),
+//! and [`audit`] (payload-free symbolic extraction and exhaustive
+//! verification of the communication schedule across the planner's whole
+//! configuration grid).
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod backend;
 pub mod batched;
 pub mod dist;
@@ -44,6 +48,10 @@ pub mod summa2d;
 pub mod summa3d;
 pub mod symbolic;
 
+pub use audit::{
+    AuditConfig, AuditEvent, AuditFault, AuditReport, AuditViolation, AuditViolationKind,
+    BatchSpec, Schedule, TraceProgram, WorkloadShape,
+};
 pub use backend::{Backend, BackendKind, NativeBackend, SimgridBackend};
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};

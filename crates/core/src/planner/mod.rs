@@ -8,7 +8,7 @@
 //! 1. **Enumerate** ([`candidate`]) every feasible grid — all `l` with
 //!    `l | p` and `p/l` a perfect square — crossed with kernel generation
 //!    and overlap mode.
-//! 2. **Probe** ([`probe`]) the operands once with a cheap sampled
+//! 2. **Probe** ([`probe()`]) the operands once with a cheap sampled
 //!    structure-only symbolic pass (no full Symbolic3D): per-column flop
 //!    and output-row counts, scaled estimates of `flops` and `nnz(C)`.
 //! 3. **Predict** ([`predict`]) each candidate's makespan with the same
@@ -19,7 +19,7 @@
 //!    candidate's latency/bandwidth/compute split, the constraint that
 //!    bound it, and why losers lost.
 //!
-//! [`calibrate`] closes the predict → measure → refit loop: it fits
+//! [`calibrate()`] closes the predict → measure → refit loop: it fits
 //! effective α/β/flop-rate constants from one measured run's step
 //! breakdowns and persists them as a machine-profile JSON later plans
 //! can load.

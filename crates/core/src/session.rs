@@ -304,14 +304,24 @@ fn assemble_pieces<T: Copy>(
         colptr.push(rowidx.len());
     }
     let sorted = pieces.iter().all(|p| p.local.is_sorted());
-    Ok(CscMatrix::from_parts_unchecked(
-        nrows_local,
-        ncols_local,
-        colptr,
-        rowidx,
-        vals,
-        sorted,
-    ))
+    let assembled =
+        CscMatrix::from_parts_unchecked(nrows_local, ncols_local, colptr, rowidx, vals, sorted);
+    // The next iterate is built `from_parts_unchecked` out of column slices
+    // the application handed back — a pruning callback that corrupts a kept
+    // piece (out-of-bounds rows, duplicate rows, a lying sorted flag) would
+    // otherwise only surface iterations later inside a kernel.
+    spgemm_sparse::debug_validate!(
+        assembled,
+        if sorted {
+            spgemm_sparse::Sortedness::Sorted
+        } else {
+            spgemm_sparse::Sortedness::Unsorted
+        },
+        "assembled next-iterate local piece ({} kept pieces, cols {:?})",
+        pieces.len(),
+        col_range
+    );
+    Ok(assembled)
 }
 
 /// Local columns on which `old` and `new` differ — the cache-invalidation
@@ -366,6 +376,33 @@ mod tests {
             global_cols: vec![0, 0],
         };
         assert!(assemble_pieces(&[q], &(0..4), &(0..2)).is_err());
+    }
+
+    /// Regression for the assembly validation hook: a pruning callback
+    /// that hands back a corrupt kept piece (out-of-bounds row index) must
+    /// be caught by `debug_validate!` at assembly time, not iterations
+    /// later inside a kernel.
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_validate! only fires in debug builds"
+    )]
+    #[should_panic(expected = "invariant violation in assembled next-iterate local piece")]
+    fn corrupt_kept_piece_is_caught_at_assembly() {
+        let m = er_random::<PlusTimesF64>(4, 2, 2, 11);
+        let (nrows, ncols, colptr, mut rowidx, vals, sorted) = m.into_parts();
+        assert!(!rowidx.is_empty());
+        // Corrupt the last entry: stays ascending within its column (so
+        // the sorted fast checks pass) but is out of bounds for the
+        // 4-row block — exactly what only full validation catches.
+        *rowidx.last_mut().unwrap() = nrows as u32 + 3;
+        let corrupt = CscMatrix::from_parts_raw(nrows, ncols, colptr, rowidx, vals, sorted);
+        let p = CPiece {
+            local: corrupt,
+            row_offset: 0,
+            global_cols: vec![0, 1],
+        };
+        let _ = assemble_pieces(&[p], &(0..4), &(0..2));
     }
 
     #[test]

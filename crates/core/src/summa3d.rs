@@ -29,7 +29,7 @@ use std::sync::Arc;
 /// `carry` is the stage-0 broadcast pair the *previous* batch posted (or
 /// `None` for the first batch), and `next` — when another batch follows —
 /// names the next batch's stage-0 inputs so this batch's last stage can
-/// post them; the returned [`StagePending`] must then be passed back in as
+/// post them; the returned `StagePending` must then be passed back in as
 /// the next batch's `carry`. Blocking callers pass `None`/`None` and get
 /// `None` back.
 ///

@@ -141,25 +141,15 @@ pub fn symbolic3d_with_weights<S: Semiring>(
     let max_col_unmerged = rank.allreduce(world, my_max_col, max_u64, 8, Step::SymbolicComm);
 
     // Alg. 3 line 12: b = r·maxnnzC / (M/p − r·(maxnnzA + maxnnzB)).
-    let per_proc = budget.per_process(grid.p());
-    let input_bytes = r * (max_nnz_a + max_nnz_b) as usize;
-    if per_proc <= input_bytes {
-        return Err(CoreError::InputsExceedMemory {
-            needed_bytes: input_bytes,
-            budget_bytes: per_proc,
-        });
-    }
-    let denom = per_proc - input_bytes;
-    // Upper-bound feasibility: column-wise batching cannot split a single
-    // output column, so its intermediate must fit in the leftover memory.
-    if r as u64 * max_col_unmerged > denom as u64 {
-        return Err(CoreError::BatchingInfeasible {
-            column_bytes: r * max_col_unmerged as usize,
-            available_bytes: denom,
-        });
-    }
-    let batches = ((r as u64 * max_unmerged).div_ceil(denom as u64) as usize)
-        .clamp(1, b.gcols.max(1));
+    let batches = alg3_batch_count(
+        budget.per_process(grid.p()),
+        r,
+        max_nnz_a,
+        max_nnz_b,
+        max_unmerged,
+        max_col_unmerged,
+        b.gcols.max(1),
+    )?;
 
     let eq2_lower_bound = budget.eq2_lower_bound(
         r * total_unmerged as usize,
@@ -183,6 +173,41 @@ pub fn symbolic3d_with_weights<S: Semiring>(
         },
         my_col_unmerged,
     ))
+}
+
+/// Alg. 3 line 12 as a pure function of the reduced symbolic quantities:
+/// `b = ⌈r·maxnnzC / (M/p − r·(maxnnzA + maxnnzB))⌉`, clamped to
+/// `[1, upper_bound]` (one column per batch is the finest split).
+///
+/// Extracted from [`symbolic3d_with_weights`] so the schedule auditor can
+/// reproduce the exact batch count a run would choose — including both
+/// failure modes — from modeled nonzero counts alone.
+pub fn alg3_batch_count(
+    per_proc_budget: usize,
+    r: usize,
+    max_nnz_a: u64,
+    max_nnz_b: u64,
+    max_unmerged: u64,
+    max_col_unmerged: u64,
+    upper_bound: usize,
+) -> Result<usize> {
+    let input_bytes = r * (max_nnz_a + max_nnz_b) as usize;
+    if per_proc_budget <= input_bytes {
+        return Err(CoreError::InputsExceedMemory {
+            needed_bytes: input_bytes,
+            budget_bytes: per_proc_budget,
+        });
+    }
+    let denom = per_proc_budget - input_bytes;
+    // Upper-bound feasibility: column-wise batching cannot split a single
+    // output column, so its intermediate must fit in the leftover memory.
+    if r as u64 * max_col_unmerged > denom as u64 {
+        return Err(CoreError::BatchingInfeasible {
+            column_bytes: r * max_col_unmerged as usize,
+            available_bytes: denom,
+        });
+    }
+    Ok(((r as u64 * max_unmerged).div_ceil(denom as u64) as usize).clamp(1, upper_bound))
 }
 
 #[cfg(test)]

@@ -1,0 +1,308 @@
+//! Conformance tests for the schedule auditor: the symbolic traces of
+//! [`spgemm_core::audit::trace_program`] must match what the *real*
+//! runtime registers with the protocol checker, collective for collective.
+//!
+//! The projection compared is `(comm, op, root, seq)` per rank in program
+//! order — exactly the signature the checker rendezvouses on. Waits are
+//! excluded (completions don't re-enter the checker) and so are the fetch
+//! protocol's point-to-point messages (the checker tracks them separately);
+//! those are covered by the auditor's replay verifier and the runtime's
+//! own tag-collision tests.
+
+use spgemm_core::audit::{trace_program, AuditEvent, TraceProgram};
+use spgemm_core::batched::BatchConfig;
+use spgemm_core::{CoreError, ExchangeMode, IterSession, MemoryBudget, OverlapMode};
+use spgemm_simgrid::{run_ranks_logged, Grid3D, LoggedOp, Machine, OpKind};
+use spgemm_sparse::gen::er_random;
+use spgemm_sparse::semiring::PlusTimesF64;
+use spgemm_sparse::CscMatrix;
+use std::sync::Arc;
+
+/// The agreement signature of one collective/post registration.
+type Sig = (u64, OpKind, Option<usize>, u64);
+
+/// Project a symbolic schedule onto per-rank signature sequences.
+fn symbolic_projection(prog: &TraceProgram) -> Vec<Vec<Sig>> {
+    trace_program(prog)
+        .traces
+        .iter()
+        .map(|trace| {
+            trace
+                .iter()
+                .filter_map(|e| match *e {
+                    AuditEvent::Collective {
+                        comm,
+                        op,
+                        root,
+                        seq,
+                        ..
+                    } => Some((comm, op, root, seq)),
+                    AuditEvent::Post {
+                        comm,
+                        op,
+                        root,
+                        seq,
+                    } => Some((comm, op, root, seq)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Project the checker's op log onto per-rank signature sequences (each
+/// rank's subsequence of the log is its program order).
+fn real_projection(p: usize, log: &[LoggedOp]) -> Vec<Vec<Sig>> {
+    let mut per: Vec<Vec<Sig>> = vec![Vec::new(); p];
+    for o in log {
+        per[o.rank].push((o.comm, o.kind, o.root, o.seq));
+    }
+    per
+}
+
+/// Drive a real [`IterSession`] for `iters` iterations under the checker's
+/// op log; returns the per-iteration batch counts (SPMD-agreed) and the
+/// log.
+#[allow(clippy::too_many_arguments)] // mirrors the audited config tuple
+fn run_real_session(
+    global: &CscMatrix<f64>,
+    p: usize,
+    l: usize,
+    exchange: ExchangeMode,
+    overlap: OverlapMode,
+    forced: Option<usize>,
+    budget: MemoryBudget,
+    iters: usize,
+) -> (Vec<usize>, Vec<LoggedOp>) {
+    let g = Arc::new(global.clone());
+    let (results, log) = run_ranks_logged(p, Machine::knl_mini(), move |rank| {
+        let grid = Grid3D::new(rank, l);
+        let cfg = BatchConfig {
+            exchange,
+            overlap,
+            forced_batches: forced,
+            budget,
+            ..BatchConfig::default()
+        };
+        let mut sess = IterSession::<PlusTimesF64>::new(
+            rank,
+            &grid,
+            (rank.rank() == 0).then(|| Arc::clone(&g)),
+            cfg,
+            true,
+        )?;
+        let mut nbatches = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let st = sess.step(rank, &grid, |_, out| Some(out.piece))?;
+            nbatches.push(st.nbatches);
+        }
+        Ok::<_, CoreError>(nbatches)
+    });
+    let per_rank: Vec<Vec<usize>> = results
+        .into_iter()
+        .map(|r| r.expect("session run must succeed"))
+        .collect();
+    for (i, nb) in per_rank.iter().enumerate() {
+        assert_eq!(nb, &per_rank[0], "rank {i} disagrees on batch counts");
+    }
+    (per_rank[0].clone(), log)
+}
+
+/// Compare the two projections rank by rank, with a readable first-diff
+/// report.
+fn assert_conformant(label: &str, sym: &[Vec<Sig>], real: &[Vec<Sig>]) {
+    assert_eq!(sym.len(), real.len(), "{label}: rank count");
+    for (r, (s, g)) in sym.iter().zip(real.iter()).enumerate() {
+        if s != g {
+            let at = s
+                .iter()
+                .zip(g.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| s.len().min(g.len()));
+            panic!(
+                "{label}: rank {r} diverges at op {at}\n  symbolic ({} ops): {:?}\n  real     ({} ops): {:?}",
+                s.len(),
+                s.get(at),
+                g.len(),
+                g.get(at),
+            );
+        }
+    }
+}
+
+/// Forced batch counts (no symbolic sweep): the symbolic trace matches
+/// the real session across both exchange modes, both overlap modes, and
+/// multi-layer vs single-layer grids, over multiple iterations.
+#[test]
+fn symbolic_trace_matches_real_session_forced_batches() {
+    let m = er_random::<PlusTimesF64>(32, 32, 3, 77);
+    for (p, l) in [(4usize, 1usize), (16, 4)] {
+        for exchange in ExchangeMode::ALL {
+            for overlap in [OverlapMode::Blocking, OverlapMode::Overlapped] {
+                let forced = 2usize;
+                let iters = 2usize;
+                let (nbatches, log) = run_real_session(
+                    &m,
+                    p,
+                    l,
+                    exchange,
+                    overlap,
+                    Some(forced),
+                    MemoryBudget::unlimited(),
+                    iters,
+                );
+                assert!(nbatches.iter().all(|&b| b == forced));
+                let prog = TraceProgram {
+                    p,
+                    l,
+                    exchange,
+                    overlap,
+                    iterations: iters,
+                    nbatches: forced,
+                    run_symbolic: false,
+                    scatter: true,
+                    session: true,
+                    modeled_nnz: (0, 0, 0),
+                };
+                let label = format!("p={p} l={l} {exchange:?} {overlap:?} forced");
+                assert_conformant(
+                    &label,
+                    &symbolic_projection(&prog),
+                    &real_projection(p, &log),
+                );
+            }
+        }
+    }
+}
+
+/// The session's default path (no forced count, unlimited budget,
+/// block-cyclic batching) skips the symbolic sweep and runs one batch —
+/// and the auditor's model of that path matches the real run.
+#[test]
+fn symbolic_trace_matches_real_session_default_path() {
+    let m = er_random::<PlusTimesF64>(24, 24, 3, 78);
+    for exchange in ExchangeMode::ALL {
+        let (p, l) = (16usize, 4usize);
+        let (nbatches, log) = run_real_session(
+            &m,
+            p,
+            l,
+            exchange,
+            OverlapMode::Blocking,
+            None,
+            MemoryBudget::unlimited(),
+            2,
+        );
+        assert!(nbatches.iter().all(|&b| b == 1), "default path is b=1");
+        let prog = TraceProgram {
+            p,
+            l,
+            exchange,
+            overlap: OverlapMode::Blocking,
+            iterations: 2,
+            nbatches: 1,
+            run_symbolic: false,
+            scatter: true,
+            session: true,
+            modeled_nnz: (0, 0, 0),
+        };
+        let label = format!("default path {exchange:?}");
+        assert_conformant(
+            &label,
+            &symbolic_projection(&prog),
+            &real_projection(p, &log),
+        );
+    }
+}
+
+/// Budget-driven batching: the real session runs the Alg. 3 symbolic
+/// sweep (stage exchange + eight world reductions) before the batches,
+/// and the auditor's `run_symbolic` model reproduces its schedule exactly.
+/// The real batch count is data-dependent, so it is read back from the
+/// run and fed to the trace program.
+#[test]
+fn symbolic_trace_matches_real_session_budget_path() {
+    let m = er_random::<PlusTimesF64>(48, 48, 4, 79);
+    for exchange in ExchangeMode::ALL {
+        for overlap in [OverlapMode::Blocking, OverlapMode::Overlapped] {
+            let (p, l) = (4usize, 1usize);
+            // Tight enough to force batching, loose enough to be feasible
+            // (inputs need ~2.7 KB per process on this workload).
+            let budget = MemoryBudget::new(13_000);
+            let (nbatches, log) = run_real_session(
+                &m,
+                p,
+                l,
+                exchange,
+                overlap,
+                None,
+                budget,
+                1,
+            );
+            let b = nbatches[0];
+            assert!(b > 1, "budget must force batching (got b={b})");
+            let prog = TraceProgram {
+                p,
+                l,
+                exchange,
+                overlap,
+                iterations: 1,
+                nbatches: b,
+                run_symbolic: true,
+                scatter: true,
+                session: true,
+                modeled_nnz: (0, 0, 0),
+            };
+            let label = format!("budget path {exchange:?} {overlap:?} (b={b})");
+            assert_conformant(
+                &label,
+                &symbolic_projection(&prog),
+                &real_projection(p, &log),
+            );
+        }
+    }
+}
+
+/// The full sweep over small world sizes verifies clean in-process (the
+/// CI lane runs the bigger release-mode sweep through the CLI).
+#[test]
+fn small_sweep_is_clean() {
+    let report = spgemm_core::audit::sweep(&[4, 16], None);
+    assert!(
+        report.violations().is_empty(),
+        "violations: {:?}",
+        report.violations()
+    );
+    assert!(report.ok_count() > 0);
+}
+
+/// Acceptance: an injected schedule bug is caught and named — the report
+/// carries the configuration label and the offending event.
+#[test]
+fn injected_bugs_are_caught_and_named() {
+    use spgemm_core::audit::{AuditFault, ConfigOutcome};
+    for fault in [AuditFault::SkipWait, AuditFault::WrongFetchTag] {
+        let report = spgemm_core::audit::sweep(&[16], Some(fault));
+        let violated = report.violations();
+        assert!(
+            !violated.is_empty(),
+            "{fault:?} must be caught somewhere in the sweep"
+        );
+        for (label, vs) in &violated {
+            assert!(!label.is_empty());
+            assert!(!vs.is_empty());
+        }
+        // Configurations where the fault applies must never verify clean
+        // AND carry the mutation (inject returning None marks them
+        // infeasible instead) — i.e. every applicable config is caught.
+        let silently_ok = report
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, ConfigOutcome::Ok { .. }))
+            .count();
+        assert_eq!(
+            silently_ok, 0,
+            "{fault:?}: {silently_ok} mutated configuration(s) verified clean"
+        );
+    }
+}

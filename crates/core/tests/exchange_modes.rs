@@ -87,6 +87,124 @@ fn sparse_fetch_aat_matches_serial_reference() {
     }
 }
 
+/// A buggy peer that reposts a fetch request on an already-in-flight
+/// envelope — e.g. a requester whose fetch-round counter failed to
+/// advance, resending `Unchanged` on the same `(comm, tag, src, dst)` —
+/// is reported as a tag collision, with the real cache-state payload on
+/// the wire.
+#[test]
+#[should_panic(expected = "TagCollision")]
+fn duplicate_fetch_request_tag_is_a_tag_collision() {
+    use spgemm_core::exchange::{fetch_req_tag, FetchReq};
+    spgemm_simgrid::run_ranks_checked(2, spgemm_simgrid::Machine::knl(), CheckMode::Check, |rank| {
+        let comm = rank.world_comm();
+        if rank.rank() == 0 {
+            rank.send(&comm, 1, fetch_req_tag(0), FetchReq::Rows(vec![1, 2, 3]));
+            // Same round tag again — a desynced counter. The checker
+            // rejects the second post at send time.
+            rank.send(&comm, 1, fetch_req_tag(0), FetchReq::Unchanged);
+        } else {
+            // Park on a round that never arrives: keeps this mailbox open
+            // (no racy early exit under schedule perturbation) while
+            // leaving round 0's envelope undelivered, so the second send
+            // is deterministically a collision.
+            let _: FetchReq = rank.recv(&comm, 0, fetch_req_tag(9));
+        }
+    });
+}
+
+/// A requester blocking on the wrong fetch-reply tag (its round counter
+/// ran ahead of the owner's) can never be matched: every live rank is
+/// receive-blocked and the checker reports an unmatched receive instead
+/// of hanging the suite.
+#[test]
+#[should_panic(expected = "UnmatchedRecv")]
+fn mismatched_fetch_reply_tag_is_an_unmatched_recv() {
+    use spgemm_core::exchange::{fetch_rep_tag, FetchRep};
+    spgemm_simgrid::run_ranks_checked(2, spgemm_simgrid::Machine::knl(), CheckMode::Check, |rank| {
+        let comm = rank.world_comm();
+        if rank.rank() == 1 {
+            // The owner replies for round 0 (a cache-hit control message)…
+            rank.send(&comm, 0, fetch_rep_tag(0), FetchRep::<f64>::CacheValid);
+        } else {
+            // …but the requester waits on round 1's reply tag.
+            let _: FetchRep<f64> = rank.recv(&comm, 1, fetch_rep_tag(1));
+        }
+    });
+}
+
+/// Seeded schedule perturbation on the full cached SparseFetch session:
+/// across wakeup-order permutations the iterates stay bit-identical, the
+/// cache state machine takes the same transitions, and the protocol
+/// checker stays silent.
+#[test]
+fn perturbed_cached_session_is_bit_identical_and_clean() {
+    use spgemm_core::batched::BatchConfig;
+    use spgemm_core::{CoreError, IterSession};
+    use spgemm_simgrid::{run_ranks_seeded, Grid3D, Machine};
+    use std::sync::Arc;
+
+    let m0 = er_random::<PlusTimesF64>(32, 32, 3, 320);
+    let run = |seed: Option<u64>| {
+        let g = Arc::new(m0.clone());
+        let results = run_ranks_seeded(16, Machine::knl_mini(), CheckMode::Check, seed, move |rank| {
+            let grid = Grid3D::new(rank, 4);
+            let cfg = BatchConfig {
+                exchange: ExchangeMode::SparseFetch,
+                ..BatchConfig::default()
+            };
+            let mut sess = IterSession::<PlusTimesF64>::new(
+                rank,
+                &grid,
+                (rank.rank() == 0).then(|| Arc::clone(&g)),
+                cfg,
+                true,
+            )?;
+            let mut cache_trail = Vec::new();
+            for _ in 0..3 {
+                let st = sess.step(rank, &grid, |_, out| Some(out.piece))?;
+                cache_trail.push((st.cache.hits, st.cache.misses, st.cache.served_cached));
+            }
+            Ok::<_, CoreError>((sess.gather(rank, &grid), cache_trail))
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("perturbed session must stay clean"))
+            .collect::<Vec<_>>()
+    };
+    let base = run(None);
+    for seed in [1u64, 2, 3] {
+        let perturbed = run(Some(seed));
+        for (rk, (b, p)) in base.iter().zip(perturbed.iter()).enumerate() {
+            assert_eq!(b.1, p.1, "seed {seed} rank {rk}: cache transitions diverged");
+            assert_eq!(b.0, p.0, "seed {seed} rank {rk}: iterate diverged");
+        }
+    }
+}
+
+/// `RunConfig::perturb` reaches the harness: a perturbed one-shot multiply
+/// is bit-identical to the unperturbed baseline in both exchange modes.
+#[test]
+fn perturbed_multiply_matches_baseline() {
+    let a = er_random::<PlusTimesF64>(48, 48, 4, 321);
+    let b = er_random::<PlusTimesF64>(48, 48, 4, 322);
+    for exchange in [ExchangeMode::DenseBcast, ExchangeMode::SparseFetch] {
+        let mut cfg = RunConfig::new(16, 4);
+        cfg.exchange = exchange;
+        cfg.check = CheckMode::Check;
+        let base = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap();
+        for seed in [1u64, 2] {
+            cfg.perturb = Some(seed);
+            let perturbed = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).unwrap();
+            assert_eq!(
+                base.c.as_ref().unwrap(),
+                perturbed.c.as_ref().unwrap(),
+                "seed {seed} {exchange:?}: perturbed product diverged"
+            );
+        }
+    }
+}
+
 /// The traffic actually moves to the fetch steps: sparse mode records
 /// FetchRequest/FetchReply bytes and no ABcast bytes, dense the reverse.
 #[test]

@@ -194,6 +194,27 @@ impl fmt::Display for ProtocolViolation {
 
 impl std::error::Error for ProtocolViolation {}
 
+/// One collective/post registration, as recorded by the op log (enabled by
+/// [`crate::runtime::run_ranks_logged`]): which rank entered which
+/// operation on which communicator, with the root it named and the
+/// per-communicator sequence number it drew. The global order is the order
+/// registrations reached the checker; each rank's subsequence is its
+/// deterministic program order. The schedule auditor's conformance tests
+/// compare symbolic traces against this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedOp {
+    /// Global rank that registered.
+    pub rank: usize,
+    /// Communicator id.
+    pub comm: u64,
+    /// Which operation.
+    pub kind: OpKind,
+    /// Root member index, for rooted collectives.
+    pub root: Option<usize>,
+    /// Per-communicator sequence number.
+    pub seq: u64,
+}
+
 /// One rank's registration at a rendezvous.
 struct OpEntry {
     rank: usize,
@@ -243,6 +264,9 @@ struct CheckState {
     /// Ranks blocked in a point-to-point receive with no matching send
     /// posted yet: receiver rank → `(comm_id, tag, src)`.
     p2p_blocked: HashMap<usize, (u64, u64, usize)>,
+    /// When `Some`, every collective/post registration is appended here
+    /// (the op log read back by [`crate::runtime::run_ranks_logged`]).
+    op_log: Option<Vec<LoggedOp>>,
 }
 
 /// World-shared checker state. Created by
@@ -264,9 +288,20 @@ impl CheckShared {
                 finished: 0,
                 p2p_inflight: HashSet::new(),
                 p2p_blocked: HashMap::new(),
+                op_log: None,
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Start recording every collective/post registration.
+    pub(crate) fn enable_logging(&self) {
+        self.lock().op_log = Some(Vec::new());
+    }
+
+    /// Take the recorded op log (empty if logging was never enabled).
+    pub(crate) fn take_op_log(&self) -> Vec<LoggedOp> {
+        self.lock().op_log.take().unwrap_or_default()
     }
 
     fn lock(&self) -> MutexGuard<'_, CheckState> {
@@ -402,6 +437,7 @@ impl Rank {
         counts: Option<(usize, usize)>,
         blocking: bool,
     ) {
+        self.perturb_point();
         let Some(check) = self.world().check.clone() else {
             return;
         };
@@ -457,6 +493,15 @@ impl Rank {
                 );
                 panic!("{report}");
             }
+        }
+        if let Some(log) = st.op_log.as_mut() {
+            log.push(LoggedOp {
+                rank: me,
+                comm: comm.id(),
+                kind,
+                root,
+                seq,
+            });
         }
         // Rendezvous registration and cross-rank agreement.
         let r = st.rendezvous.entry(key).or_insert_with(|| Rendezvous {
@@ -775,6 +820,7 @@ mod tests {
             finished: 1,
             p2p_inflight: HashSet::new(),
             p2p_blocked: HashMap::new(),
+            op_log: None,
         };
         st.rendezvous.insert(
             (1, 1),

@@ -12,6 +12,7 @@ use crate::clock::{RankClock, Step};
 use crate::cost::Machine;
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -29,6 +30,11 @@ pub(crate) struct WorldShared {
     pub p: usize,
     pub senders: Vec<Sender<Envelope>>,
     pub check: Option<Arc<CheckShared>>,
+    /// Schedule-perturbation seed: when set, every rank injects a
+    /// deterministic, seed-derived amount of scheduler jitter at
+    /// communication points ([`Rank::perturb_point`]), permuting thread
+    /// wakeup order at rendezvous without changing any result.
+    pub perturb: Option<u64>,
 }
 
 /// A communicator: an ordered group of global ranks.
@@ -68,6 +74,39 @@ impl Comm {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// Build a communicator descriptor for global rank `rank` without a
+    /// live runtime.
+    ///
+    /// Communicator identity is a pure function of `(members, color)` —
+    /// [`Rank::comm`] delegates here — which is what lets the schedule
+    /// auditor (`spgemm_core::audit`) construct the exact communicators a
+    /// real run would use, payload-free.
+    pub fn for_rank(members: Vec<usize>, color: u64, rank: usize) -> Comm {
+        let my_index = members
+            .iter()
+            .position(|&g| g == rank)
+            .expect("constructing a communicator that does not contain this rank");
+        let id = comm_id(&members, color);
+        Comm {
+            members: Arc::new(members),
+            my_index,
+            id,
+        }
+    }
+}
+
+/// Stable communicator id for a member list + color.
+///
+/// The derivation every member uses to agree on an id without
+/// coordination, exposed so symbolic executors can mirror it.
+pub fn comm_id(members: &[usize], color: u64) -> u64 {
+    fnv1a(
+        members
+            .iter()
+            .flat_map(|&m| (m as u64).to_le_bytes())
+            .chain(color.to_le_bytes()),
+    )
 }
 
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
@@ -91,6 +130,10 @@ pub struct Rank {
     /// collectives on a communicator in identical order on every member,
     /// so these counters agree without coordination).
     op_seq: HashMap<u64, u64>,
+    /// Count of perturbation points passed, so each point draws fresh
+    /// jitter from the seed (interior mutability: perturbation points sit
+    /// on `&self` paths like [`Rank::send`]).
+    jitter: Cell<u64>,
 }
 
 impl Rank {
@@ -108,6 +151,36 @@ impl Rank {
             clock: RankClock::new(),
             machine,
             op_seq: HashMap::new(),
+            jitter: Cell::new(0),
+        }
+    }
+
+    /// Inject deterministic scheduler jitter if a perturbation seed is
+    /// set: a seed-derived number of `yield_now`s (and an occasional
+    /// microsecond-scale sleep) permutes which thread wins each race at
+    /// rendezvous and mailbox operations. Results must be bit-identical
+    /// under any seed — a run that isn't has an order-dependence bug the
+    /// default schedule was hiding.
+    pub(crate) fn perturb_point(&self) {
+        let Some(seed) = self.world.perturb else {
+            return;
+        };
+        let n = self.jitter.get();
+        self.jitter.set(n + 1);
+        // splitmix64-style finalizer over (seed, rank, point index).
+        let mut z = seed
+            ^ (self.rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ n.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        for _ in 0..(z % 8) {
+            std::thread::yield_now();
+        }
+        if z.is_multiple_of(61) {
+            std::thread::sleep(std::time::Duration::from_micros((z >> 8) % 50));
         }
     }
 
@@ -168,21 +241,7 @@ impl Rank {
     /// rank). `color` disambiguates distinct communicators that happen to
     /// share a member list.
     pub fn comm(&self, members: Vec<usize>, color: u64) -> Comm {
-        let my_index = members
-            .iter()
-            .position(|&g| g == self.rank)
-            .expect("constructing a communicator that does not contain this rank");
-        let id = fnv1a(
-            members
-                .iter()
-                .flat_map(|&m| (m as u64).to_le_bytes())
-                .chain(color.to_le_bytes()),
-        );
-        Comm {
-            members: Arc::new(members),
-            my_index,
-            id,
-        }
+        Comm::for_rank(members, color, self.rank)
     }
 
     /// Allocate the next collective sequence number on `comm`.
@@ -195,7 +254,7 @@ impl Rank {
     /// Typed point-to-point send to `dst_index` within `comm`.
     ///
     /// Registers the envelope with the protocol checker (tag collisions,
-    /// orphaned sends). Collectives use [`Rank::send_raw`] instead — their
+    /// orphaned sends). Collectives use `Rank::send_raw` instead — their
     /// traffic is already verified at the rendezvous level.
     pub fn send<T: Send + 'static>(&self, comm: &Comm, dst_index: usize, tag: u64, value: T) {
         self.check_p2p_send(comm, dst_index, tag);
@@ -211,6 +270,7 @@ impl Rank {
         tag: u64,
         value: T,
     ) {
+        self.perturb_point();
         let dst = comm.member(dst_index);
         self.world.senders[dst]
             .send(Envelope {
@@ -242,6 +302,7 @@ impl Rank {
         src_index: usize,
         tag: u64,
     ) -> T {
+        self.perturb_point();
         let src = comm.member(src_index);
         let comm_id = comm.id();
         // Check the stash first.

@@ -60,10 +60,16 @@ impl Grid3D {
     /// Build the grid view for `rank` with `l` layers. Panics if `(p, l)`
     /// does not form square layers — call [`layer_side`] to validate first.
     pub fn new(rank: &Rank, l: usize) -> Grid3D {
-        let p = rank.world_size();
+        Grid3D::for_rank_id(rank.rank(), rank.world_size(), l)
+    }
+
+    /// Build the grid view for global rank `g` of a `p`-rank world, with no
+    /// live runtime. `Grid3D::new` delegates here; the schedule auditor
+    /// calls it directly so the symbolic executor sees the exact same
+    /// member lists and communicator ids a real run would.
+    pub fn for_rank_id(g: usize, p: usize, l: usize) -> Grid3D {
         let pr = layer_side(p, l)
             .unwrap_or_else(|| panic!("invalid 3D grid: p={p}, l={l} (layers must be square)"));
-        let g = rank.rank();
         let per_layer = pr * pr;
         let k = g / per_layer;
         let r2 = g % per_layer;
@@ -82,11 +88,11 @@ impl Grid3D {
             i,
             j,
             k,
-            row: rank.comm(row_members, COLOR_ROW),
-            col: rank.comm(col_members, COLOR_COL),
-            fiber: rank.comm(fiber_members, COLOR_FIBER),
-            layer: rank.comm(layer_members, COLOR_LAYER),
-            world: rank.world_comm(),
+            row: Comm::for_rank(row_members, COLOR_ROW, g),
+            col: Comm::for_rank(col_members, COLOR_COL, g),
+            fiber: Comm::for_rank(fiber_members, COLOR_FIBER, g),
+            layer: Comm::for_rank(layer_members, COLOR_LAYER, g),
+            world: Comm::for_rank((0..p).collect(), 0, g),
         }
     }
 

@@ -45,12 +45,12 @@ pub mod runtime;
 pub mod stats;
 pub mod trace;
 
-pub use check::{CheckMode, OpKind, ProtocolViolation, ViolationKind};
+pub use check::{CheckMode, LoggedOp, OpKind, ProtocolViolation, ViolationKind};
 pub use clock::{RankClock, Step, StepBreakdown};
-pub use comm::{Comm, Rank};
+pub use comm::{comm_id, Comm, Rank};
 pub use cost::Machine;
 pub use grid::{Grid2D, Grid3D};
 pub use nonblocking::{PendingAlltoallv, PendingBcast, PendingOp};
-pub use runtime::{run_ranks, run_ranks_checked};
+pub use runtime::{run_ranks, run_ranks_checked, run_ranks_logged, run_ranks_seeded};
 pub use stats::{max_breakdown, CacheCounters, KernelCounters, StepReport};
 pub use trace::{chrome_trace_json, TraceEvent};

@@ -1,10 +1,19 @@
 //! Spawning and joining simulated ranks.
 
-use crate::check::{CheckMode, CheckShared};
+use crate::check::{CheckMode, CheckShared, LoggedOp};
 use crate::comm::{Envelope, Rank, WorldShared};
 use crate::cost::Machine;
 use crossbeam::channel::unbounded;
 use std::sync::Arc;
+
+/// Default perturbation seed: the `SPGEMM_PERTURB_SEED` environment
+/// variable if it parses as a `u64`, otherwise none. Lets whole test
+/// suites re-run under schedule perturbation without code changes.
+fn env_perturb_seed() -> Option<u64> {
+    std::env::var("SPGEMM_PERTURB_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
 
 /// Stack size per simulated rank. Local SpGEMM kernels recurse little, so a
 /// modest stack keeps thousand-rank simulations cheap.
@@ -31,10 +40,63 @@ where
 /// [`run_ranks`] with an explicit protocol-checking mode.
 ///
 /// Failure reporting gives algorithmic panics precedence: if a rank failed
-/// for a reason other than a protocol violation, that panic (with its rank
-/// id) is re-raised first; otherwise the checker's consolidated
-/// `protocol violation` report is raised.
+/// for a reason other than a protocol violation or a secondary
+/// infrastructure panic it caused (a peer's mailbox closing early), that
+/// panic (with its rank id) is re-raised first; otherwise the checker's
+/// consolidated `protocol violation` report is raised.
+///
+/// Schedule perturbation follows the `SPGEMM_PERTURB_SEED` environment
+/// variable; use [`run_ranks_seeded`] to pick the seed explicitly.
 pub fn run_ranks_checked<R, F>(p: usize, machine: Machine, mode: CheckMode, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    run_ranks_inner(p, machine, mode, env_perturb_seed(), false, f).0
+}
+
+/// [`run_ranks_checked`] with an explicit schedule-perturbation seed.
+///
+/// With `Some(seed)`, every rank injects deterministic seed-derived
+/// scheduler jitter at its communication points, permuting thread wakeup
+/// order at every rendezvous. Algorithm results must be bit-identical
+/// under any seed; runs that differ (or trip the checker only under some
+/// seeds) have an order-dependence bug the default schedule was hiding.
+pub fn run_ranks_seeded<R, F>(
+    p: usize,
+    machine: Machine,
+    mode: CheckMode,
+    seed: Option<u64>,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    run_ranks_inner(p, machine, mode, seed, false, f).0
+}
+
+/// [`run_ranks`] with the protocol checker forced on and its op log
+/// enabled: returns each rank's result plus every collective/nonblocking
+/// registration the run made, in checker arrival order (each rank's
+/// subsequence is its program order). The schedule auditor's conformance
+/// tests compare symbolic schedules against this ground truth.
+pub fn run_ranks_logged<R, F>(p: usize, machine: Machine, f: F) -> (Vec<R>, Vec<LoggedOp>)
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    run_ranks_inner(p, machine, CheckMode::Check, env_perturb_seed(), true, f)
+}
+
+fn run_ranks_inner<R, F>(
+    p: usize,
+    machine: Machine,
+    mode: CheckMode,
+    perturb: Option<u64>,
+    log: bool,
+    f: F,
+) -> (Vec<R>, Vec<LoggedOp>)
 where
     R: Send,
     F: Fn(&mut Rank) -> R + Send + Sync,
@@ -48,10 +110,17 @@ where
         receivers.push(Some(rx));
     }
     let check = mode.is_on().then(|| Arc::new(CheckShared::new(p)));
+    if log {
+        check
+            .as_ref()
+            .expect("op logging requires CheckMode::Check")
+            .enable_logging();
+    }
     let world = Arc::new(WorldShared {
         p,
         senders,
         check: check.clone(),
+        perturb,
     });
     let f = &f;
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
@@ -87,12 +156,14 @@ where
     .expect("rank scope failed");
 
     if !failures.is_empty() {
-        // An algorithmic failure outranks the secondary protocol panics it
-        // causes on peer ranks (stall reports, poison wake-ups).
-        if let Some((i, msg)) = failures
-            .iter()
-            .find(|(_, msg)| !msg.contains("protocol violation"))
-        {
+        // An algorithmic failure outranks the secondary panics it causes on
+        // peer ranks: protocol reports (stall, poison wake-ups) *and*
+        // infrastructure panics from mailboxes closing when the failed rank's
+        // thread died ("rank mailbox closed ..."). A low rank dying of the
+        // latter must not mask the real failure on a higher rank.
+        let secondary =
+            |msg: &str| msg.contains("protocol violation") || msg.contains("rank mailbox closed");
+        if let Some((i, msg)) = failures.iter().find(|(_, msg)| !secondary(msg)) {
             panic!("rank {i} panicked: {msg}");
         }
         if let Some(check) = &check {
@@ -102,6 +173,8 @@ where
                 panic!("{}", report.join("\n"));
             }
         }
+        // Only secondary infrastructure panics and no checker report (e.g.
+        // checking off): surface the first one rather than nothing.
         let (i, msg) = &failures[0];
         panic!("rank {i} panicked: {msg}");
     }
@@ -117,11 +190,13 @@ where
         }
     }
 
-    results
+    let op_log = check.as_ref().map(|c| c.take_op_log()).unwrap_or_default();
+    let results = results
         .into_iter()
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| panic!("rank {i} produced no result")))
-        .collect()
+        .collect();
+    (results, op_log)
 }
 
 #[cfg(test)]
@@ -156,6 +231,68 @@ mod tests {
             }
             0
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked: boom")]
+    fn algorithmic_panic_outranks_secondary_infrastructure_panics() {
+        // Rank 2 dies mid-run; rank 0 keeps sending to it until the dead
+        // rank's mailbox closes and the send panics with the
+        // "rank mailbox closed" infrastructure message. That secondary
+        // panic (on a *lower* rank id, hence joined first) must not mask
+        // the real algorithmic failure on rank 2.
+        run_ranks_checked(3, Machine::knl(), CheckMode::Off, |rank| {
+            let comm = rank.world_comm();
+            match rank.rank() {
+                2 => panic!("boom"),
+                0 => {
+                    let mut tag = 0u64;
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        rank.send(&comm, 2, tag, 0u8);
+                        tag += 1;
+                    }
+                }
+                _ => (),
+            }
+        });
+    }
+
+    #[test]
+    fn perturbed_schedules_are_bit_identical() {
+        let program = |rank: &mut Rank| {
+            let comm = rank.world_comm();
+            let me = rank.rank();
+            let p = rank.world_size();
+            rank.send(&comm, (me + 1) % p, 7, me as u64);
+            let from_prev: u64 = rank.recv(&comm, (me + p - 1) % p, 7);
+            rank.barrier(&comm, crate::clock::Step::Other);
+            from_prev
+        };
+        let base = run_ranks_seeded(8, Machine::knl(), CheckMode::Check, None, program);
+        for seed in [1u64, 2, 3] {
+            let perturbed =
+                run_ranks_seeded(8, Machine::knl(), CheckMode::Check, Some(seed), program);
+            assert_eq!(perturbed, base, "seed {seed} changed results");
+        }
+    }
+
+    #[test]
+    fn op_log_records_per_rank_program_order() {
+        let (_, log) = run_ranks_logged(4, Machine::knl(), |rank| {
+            let comm = rank.world_comm();
+            rank.barrier(&comm, crate::clock::Step::Other);
+            rank.barrier(&comm, crate::clock::Step::Other);
+        });
+        // 4 ranks × 2 barriers, and each rank's subsequence has seq 1, 2.
+        assert_eq!(log.len(), 8);
+        for r in 0..4 {
+            let seqs: Vec<u64> = log.iter().filter(|o| o.rank == r).map(|o| o.seq).collect();
+            assert_eq!(seqs, vec![1, 2]);
+        }
+        assert!(log
+            .iter()
+            .all(|o| o.kind == crate::check::OpKind::Barrier && o.root.is_none()));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! position and offending index instead of a bare assert, so a corrupted
 //! matrix at a kernel boundary produces an actionable diagnostic.
 //!
-//! The [`debug_validate!`] macro wires these checks into kernel boundaries
+//! The [`debug_validate!`](crate::debug_validate) macro wires these checks into kernel boundaries
 //! and SUMMA stage seams: it is a no-op in release builds and panics with
 //! the rich diagnostic (prefixed by a caller-supplied matrix name) in debug
 //! builds.
