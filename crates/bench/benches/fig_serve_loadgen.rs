@@ -1,0 +1,97 @@
+//! SpGEMM-as-a-service under load: ≥1000 mixed-shape jobs through one
+//! resident server process, open- and closed-loop arrival.
+//!
+//! Not a paper figure — the serving-layer counterpart of Figs. 3/4: the
+//! job mix reuses the same scaled-down Friendster-like (fig4) and
+//! protein-cluster (fig3 MCL) shapes, at two process counts and two
+//! per-job budgets each, so the plan cache sees a repeat-heavy workload
+//! (8 distinct plan keys over 1000+ jobs) and the admission controller
+//! sees heterogeneous Eq. 2 peaks against one global budget.
+//!
+//! Reported per campaign: throughput, p50/p99 total and queue latency,
+//! peak queue depth, shrink/reject admission decisions, plan-cache and
+//! probe-memo hit rates, and the budget high-water mark (always ≤ the
+//! global budget — the admission invariant). The run fails if any job is
+//! lost or the repeat-heavy mix misses the cache more than half the time.
+
+use spgemm_bench::{workloads, write_csv};
+use spgemm_core::serve::{run_loadgen, ArrivalProcess, Priority};
+use spgemm_core::{
+    JobServer, JobSpec, LoadgenConfig, LoadgenReport, MemoryBudget, ServerConfig,
+};
+use spgemm_simgrid::Machine;
+
+const JOBS: usize = 1000;
+const GLOBAL_BUDGET: usize = 6_000_000;
+
+fn server() -> (JobServer, Vec<JobSpec>) {
+    let mut cfg = ServerConfig::new(GLOBAL_BUDGET);
+    cfg.machine = Machine::knl_mini();
+    cfg.max_concurrency = 4;
+    cfg.cache_capacity = 64;
+    let server = JobServer::start(cfg);
+
+    // The fig4 social-graph shape and the fig3 MCL protein shape.
+    let friendster = server.register(workloads::friendster_like(7));
+    let isolates = server.register(workloads::isolates_like(4, 20));
+
+    let mut specs = Vec::new();
+    for handle in [friendster, isolates] {
+        for p in [4usize, 16] {
+            let mut spec = JobSpec::new(handle, handle, p, MemoryBudget::unlimited());
+            spec.keep_output = false;
+            specs.push(spec.clone());
+            // A tight-budget high-priority variant: planned batches go up,
+            // and under pressure the shrink path engages.
+            spec.budget = MemoryBudget::new(GLOBAL_BUDGET / 3);
+            spec.priority = Priority::High;
+            specs.push(spec);
+        }
+    }
+    (server, specs)
+}
+
+fn campaign(name: &str, arrival: ArrivalProcess) -> LoadgenReport {
+    let (server, specs) = server();
+    let cfg = LoadgenConfig {
+        jobs: JOBS,
+        arrival,
+        seed: 0x5E21_E0AD,
+    };
+    let report = run_loadgen(&server, &specs, &cfg);
+    server.shutdown();
+    println!("\n=== {name} ===\n{}", report.to_table());
+    assert_eq!(
+        report.completed + report.rejected,
+        JOBS,
+        "{name}: a submitted job was lost"
+    );
+    assert!(
+        report.server.peak_reserved_bytes <= report.server.budget_bytes,
+        "{name}: admission invariant violated"
+    );
+    assert!(
+        report.server.cache.plan_hit_rate() > 0.5,
+        "{name}: repeat-heavy mix should hit the plan cache >50% (got {:.0}%)",
+        report.server.cache.plan_hit_rate() * 100.0
+    );
+    report
+}
+
+fn main() {
+    println!(
+        "serve loadgen: {JOBS} jobs per campaign, 8 spec variants over 2 shapes, \
+         global budget {} MB",
+        GLOBAL_BUDGET / 1_000_000
+    );
+    let closed = campaign("closed loop (8 tenants)", ArrivalProcess::Closed { concurrency: 8 });
+    let open = campaign(
+        "open loop (400 jobs/s offered)",
+        ArrivalProcess::Open { rate_hz: 400.0 },
+    );
+
+    let mut csv = format!("scenario,{}\n", LoadgenReport::csv_header());
+    csv.push_str(&format!("closed,{}\n", closed.csv_row()));
+    csv.push_str(&format!("open,{}\n", open.csv_row()));
+    write_csv("fig_serve_loadgen.csv", &csv);
+}

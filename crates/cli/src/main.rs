@@ -10,7 +10,7 @@
 //!                 [--machine knl|haswell|knl-mini|knl-ht]
 //!                 [--profile PROFILE.json] [--calibrate-out PROFILE.json]
 //!                 [--batching cyclic|block|balanced] [--overlap] [--check]
-//!                 [--trace T.json] [--out C.mtx] [--verify]
+//!                 [--trace T.json] [--out C.mtx] [--verify] [--json]
 //! spgemm plan     --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--budget-mb M] [--machine NAME | --profile PROFILE.json]
 //!                 [--sample F] [--seed S] [--iters N]
@@ -26,6 +26,10 @@
 //!                 [--shape fig3-mcl|fig4-friendster|fig4-isolates] [--procs P]
 //!                 [--layers L] [--batches B | --auto-target T]
 //!                 [--exchange dense|sparse] [--overlap] [--iters N]
+//! spgemm serve    --budget-mb M [--max-concurrency N] [--cache-size K]
+//!                 [--backend simgrid|native] [--machine NAME] [--no-shrink]
+//!                 [--loadgen [--jobs N] [--arrival open|closed] [--rate R]
+//!                  [--concurrency C] [--seed S] [--csv OUT.csv]]
 //! ```
 //!
 //! `plan` prints the planner's ranked candidate report and runs nothing;
@@ -93,7 +97,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "run with a subcommand: gen | info | multiply | plan | mcl | triangles | \
-                 overlap | audit"
+                 overlap | audit | serve"
             );
             ExitCode::FAILURE
         }
@@ -110,6 +114,7 @@ fn run(args: &Args) -> Result<(), String> {
         "triangles" => cmd_triangles(args),
         "overlap" => cmd_overlap(args),
         "audit" => cmd_audit(args),
+        "serve" => cmd_serve(args),
         other => Err(format!("unknown subcommand: {other}")),
     }
 }
@@ -129,7 +134,8 @@ fn machine_by_name(name: &str) -> Result<Machine, String> {
 fn machine_from_args(args: &Args) -> Result<Machine, String> {
     if let Some(path) = args.opt("profile") {
         let profile = MachineProfile::load(Path::new(path)).map_err(|e| e.to_string())?;
-        println!("loaded machine profile from {path} ({})", profile.source);
+        // Status line on stderr so `multiply --json` stays parseable.
+        eprintln!("loaded machine profile from {path} ({})", profile.source);
         Ok(profile.to_machine())
     } else {
         machine_by_name(args.opt("machine").unwrap_or("knl"))
@@ -287,56 +293,72 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     if args.opt("trace").is_some() {
         cfg.trace = true;
     }
+    let json = args.flag("json");
     let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).map_err(|e| e.to_string())?;
     let layers = out.layers;
     if let Some(plan) = &out.plan {
-        println!("auto layer choice:\n{}", plan.to_table());
+        if !json {
+            println!("auto layer choice:\n{}", plan.to_table());
+        }
     }
     if let (Some(path), Some(traces)) = (args.opt("trace"), &out.traces) {
-        let json = spgemm_simgrid::chrome_trace_json(traces);
-        std::fs::write(path, json).map_err(|e| e.to_string())?;
-        println!("wrote Chrome trace to {path}");
+        let trace_json = spgemm_simgrid::chrome_trace_json(traces);
+        std::fs::write(path, trace_json).map_err(|e| e.to_string())?;
+        if !json {
+            println!("wrote Chrome trace to {path}");
+        }
     }
     let c = out.c.as_ref().expect("product gathered");
-    println!(
-        "C: {}x{} with {} nonzeros, computed in {} batch(es) on a {}x{}x{} grid",
-        c.nrows(),
-        c.ncols(),
-        c.nnz(),
-        out.nbatches,
-        ((p / layers) as f64).sqrt() as usize,
-        ((p / layers) as f64).sqrt() as usize,
-        layers
-    );
-    if let Some(sym) = &out.symbolic {
+    if !json {
         println!(
-            "symbolic: b={} (Eq.2 bound {:?}), flops {}, max unmerged/process {}",
-            sym.batches, sym.eq2_lower_bound, sym.flops, sym.max_unmerged_nnz
+            "C: {}x{} with {} nonzeros, computed in {} batch(es) on a {}x{}x{} grid",
+            c.nrows(),
+            c.ncols(),
+            c.nnz(),
+            out.nbatches,
+            ((p / layers) as f64).sqrt() as usize,
+            ((p / layers) as f64).sqrt() as usize,
+            layers
         );
+        if let Some(sym) = &out.symbolic {
+            println!(
+                "symbolic: b={} (Eq.2 bound {:?}), flops {}, max unmerged/process {}",
+                sym.batches, sym.eq2_lower_bound, sym.flops, sym.max_unmerged_nnz
+            );
+        }
+        let mut report = StepReport::new();
+        report.push(format!("p={p} l={layers} b={}", out.nbatches), out.max);
+        if let BackendKind::Native { threads } = cfg.backend {
+            println!(
+                "\nbackend: native ({threads} kernel thread(s)/process, per-thread load \
+                 imbalance {:.2}); kernel seconds below are measured, communication modeled:\n{}",
+                out.load_balance.imbalance(),
+                report.to_table()
+            );
+        } else {
+            println!("\nmodeled per-step seconds (max over processes):\n{}", report.to_table());
+        }
     }
-    let mut report = StepReport::new();
-    report.push(format!("p={p} l={layers} b={}", out.nbatches), out.max);
-    if let BackendKind::Native { threads } = cfg.backend {
-        println!(
-            "\nbackend: native ({threads} kernel thread(s)/process, per-thread load \
-             imbalance {:.2}); kernel seconds below are measured, communication modeled:\n{}",
-            out.load_balance.imbalance(),
-            report.to_table()
-        );
-    } else {
-        println!("\nmodeled per-step seconds (max over processes):\n{}", report.to_table());
-    }
+    let mut verified = None;
     if args.flag("verify") {
         let (reference, _) = spgemm_spa::<PlusTimesF64>(&a, &b).map_err(|e| e.to_string())?;
         if c.approx_eq(&reference, 1e-9) {
-            println!("verification against serial reference: OK");
+            verified = Some(true);
+            if !json {
+                println!("verification against serial reference: OK");
+            }
         } else {
             return Err("verification FAILED: distributed product differs from serial".into());
         }
     }
+    if json {
+        println!("{}", multiply_json(&cfg, &out, p, verified));
+    }
     if let Some(path) = args.opt("out") {
         write_matrix_market_file(c, Path::new(path)).map_err(|e| e.to_string())?;
-        println!("wrote product to {path}");
+        if !json {
+            println!("wrote product to {path}");
+        }
     }
     if let Some(path) = args.opt("calibrate-out") {
         let input = CalibrationInput {
@@ -353,13 +375,87 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         profile
             .save(Path::new(path))
             .map_err(|e| e.to_string())?;
-        println!(
-            "wrote calibrated machine profile to {path} (alpha {:.3e}, beta {:.3e}, \
-             secs/work-unit {:.3e})",
-            profile.alpha, profile.beta, profile.secs_per_work_unit
-        );
+        if !json {
+            println!(
+                "wrote calibrated machine profile to {path} (alpha {:.3e}, beta {:.3e}, \
+                 secs/work-unit {:.3e})",
+                profile.alpha, profile.beta, profile.secs_per_work_unit
+            );
+        }
     }
     Ok(())
+}
+
+/// Machine-readable `multiply` result, in the same hand-rolled style as
+/// `audit --json` (no serializer dependency; keys stable for scripting).
+fn multiply_json(
+    cfg: &RunConfig,
+    out: &spgemm_core::RunOutput<f64>,
+    p: usize,
+    verified: Option<bool>,
+) -> String {
+    use spgemm_simgrid::clock::ALL_STEPS;
+    let c = out.c.as_ref().expect("product gathered");
+    let side = ((p / out.layers) as f64).sqrt() as usize;
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"c\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n",
+        c.nrows(),
+        c.ncols(),
+        c.nnz()
+    ));
+    s.push_str(&format!("  \"procs\": {p},\n"));
+    s.push_str(&format!("  \"grid\": [{side}, {side}, {}],\n", out.layers));
+    s.push_str(&format!("  \"layers\": {},\n", out.layers));
+    s.push_str(&format!("  \"batches\": {},\n", out.nbatches));
+    match cfg.backend {
+        BackendKind::Native { threads } => {
+            s.push_str("  \"backend\": \"native\",\n");
+            s.push_str(&format!("  \"threads\": {threads},\n"));
+            s.push_str(&format!(
+                "  \"kernel_imbalance\": {:.4},\n",
+                out.load_balance.imbalance()
+            ));
+        }
+        BackendKind::Simgrid => s.push_str("  \"backend\": \"simgrid\",\n"),
+    }
+    match &out.symbolic {
+        Some(sym) => {
+            let eq2 = sym
+                .eq2_lower_bound
+                .map_or_else(|| "null".into(), |b| b.to_string());
+            s.push_str(&format!(
+                "  \"symbolic\": {{\"batches\": {}, \"eq2_lower_bound\": {eq2}, \
+                 \"flops\": {}, \"max_unmerged_nnz\": {}}},\n",
+                sym.batches, sym.flops, sym.max_unmerged_nnz
+            ));
+        }
+        None => s.push_str("  \"symbolic\": null,\n"),
+    }
+    s.push_str(&format!(
+        "  \"peak_bytes_per_proc\": {},\n",
+        out.peak_bytes.iter().copied().max().unwrap_or(0)
+    ));
+    s.push_str("  \"steps\": {");
+    let mut first = true;
+    for step in ALL_STEPS {
+        let secs = out.max.secs_of(step);
+        if secs > 0.0 {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {:.9}", step.label(), secs));
+        }
+    }
+    s.push_str("},\n");
+    s.push_str(&format!("  \"total_secs\": {:.9},\n", out.max.total()));
+    match verified {
+        Some(v) => s.push_str(&format!("  \"verified\": {v}\n")),
+        None => s.push_str("  \"verified\": null\n"),
+    }
+    s.push('}');
+    s
 }
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
@@ -557,6 +653,229 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     let bad = report.violations().len();
     if bad > 0 {
         return Err(format!("{bad} configuration(s) with schedule violations"));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use spgemm_core::{JobServer, ServerConfig};
+
+    let budget_mb = args.get_or("budget-mb", 64.0f64)?;
+    let mut cfg = ServerConfig::new((budget_mb * 1e6) as usize);
+    cfg.max_concurrency = args.get_or("max-concurrency", 4usize)?;
+    cfg.cache_capacity = args.get_or("cache-size", 64usize)?;
+    cfg.machine = machine_from_args(args)?;
+    match args.opt("backend") {
+        Some("native") => {
+            cfg.backend = BackendKind::Native {
+                threads: match args.opt("threads") {
+                    Some(t) => t.parse().map_err(|_| "bad --threads")?,
+                    None => BackendKind::available_threads(),
+                },
+            };
+        }
+        Some("simgrid") => {
+            cfg.backend = BackendKind::Simgrid;
+            if args.opt("threads").is_some() {
+                return Err("--threads requires --backend native".into());
+            }
+        }
+        None => {}
+        Some(other) => return Err(format!("unknown backend: {other}")),
+    }
+    if args.flag("no-shrink") {
+        cfg.shrink = false;
+    }
+    if args.flag("check") {
+        cfg.check = CheckMode::Check;
+    }
+
+    println!(
+        "serve: global budget {:.1} MB, {} worker(s), plan cache {} entries, shrink {}",
+        budget_mb,
+        cfg.max_concurrency,
+        cfg.cache_capacity,
+        if cfg.shrink { "on" } else { "off" }
+    );
+    let server = JobServer::start(cfg);
+    if args.flag("loadgen") {
+        serve_loadgen(args, &server, budget_mb)?;
+        server.shutdown();
+        Ok(())
+    } else {
+        serve_stdin(server)
+    }
+}
+
+/// Self-driving mode: synthesize a small mixed workload (MCL-like
+/// clusters, uniform ER, skewed RMAT — the fig3/fig4 shapes at CLI scale)
+/// and drive it through the server with the chosen arrival process.
+fn serve_loadgen(
+    args: &Args,
+    server: &spgemm_core::JobServer,
+    budget_mb: f64,
+) -> Result<(), String> {
+    use spgemm_core::serve::{run_loadgen, ArrivalProcess, Priority};
+    use spgemm_core::{JobSpec, LoadgenConfig, LoadgenReport};
+
+    let jobs = args.get_or("jobs", 200usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let arrival = match args.opt("arrival").unwrap_or("closed") {
+        "open" => ArrivalProcess::Open {
+            rate_hz: args.get_or("rate", 100.0f64)?,
+        },
+        "closed" => ArrivalProcess::Closed {
+            concurrency: args.get_or("concurrency", 8usize)?,
+        },
+        other => return Err(format!("unknown arrival process: {other}")),
+    };
+
+    // Three structural families, squared (the A·A pattern every iterative
+    // app in this repo uses), at two process counts each.
+    let shapes: [(&str, CscMatrix<f64>); 3] = [
+        ("clusters", clustered_similarity(6, 24, 10, 1, seed)),
+        ("er", er_random::<PlusTimesF64>(192, 192, 6, seed)),
+        ("rmat", rmat::<PlusTimesF64>(7, 6, None, true, seed)),
+    ];
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (name, m) in shapes {
+        let h = server.register(m);
+        for p in [4usize, 16] {
+            let mut spec = JobSpec::new(h, h, p, MemoryBudget::unlimited());
+            spec.keep_output = false;
+            specs.push(spec.clone());
+            // A memory-constrained high-priority variant of the same shape
+            // (exercises batching, shrink-and-batch and the queue).
+            spec.budget = MemoryBudget::new((budget_mb * 1e6 / 2.0) as usize);
+            spec.priority = Priority::High;
+            specs.push(spec);
+        }
+        println!("loadgen: registered shape {name} at p=4 and p=16");
+    }
+
+    let cfg = LoadgenConfig {
+        jobs,
+        arrival,
+        seed,
+    };
+    println!("loadgen: submitting {jobs} jobs ({arrival:?}, seed {seed})");
+    let report = run_loadgen(server, &specs, &cfg);
+    println!("{}", report.to_table());
+    if let Some(path) = args.opt("csv") {
+        let body = format!("{}\n{}\n", LoadgenReport::csv_header(), report.csv_row());
+        std::fs::write(path, body).map_err(|e| e.to_string())?;
+        println!("wrote loadgen CSV to {path}");
+    }
+    Ok(())
+}
+
+/// Interactive mode: a line protocol on stdin against the resident server.
+fn serve_stdin(server: spgemm_core::JobServer) -> Result<(), String> {
+    use spgemm_core::serve::OperandId;
+    use std::io::BufRead;
+
+    println!("commands: reg FILE | mul A B P [BUDGET_MB] | stats | quit");
+    let mut handles: Vec<OperandId> = Vec::new();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let result = match words.as_slice() {
+            [] => Ok(()),
+            ["quit"] | ["exit"] => break,
+            ["reg", path] => load(path).map(|m| {
+                println!("operand {}: {}x{} with {} nonzeros", handles.len(), m.nrows(), m.ncols(), m.nnz());
+                handles.push(server.register(m));
+            }),
+            ["mul", rest @ ..] if (3..=4).contains(&rest.len()) => {
+                serve_one(&server, &handles, rest)
+            }
+            ["stats"] => {
+                let s = server.stats();
+                println!(
+                    "submitted {} | completed {} | rejected {} | queued now {} | running {}\n\
+                     reserved {} of {} bytes (peak {}) | plan cache {:.0}% hit",
+                    s.submitted,
+                    s.completed,
+                    s.rejected,
+                    s.queue_depth,
+                    s.running,
+                    s.reserved_bytes,
+                    s.budget_bytes,
+                    s.peak_reserved_bytes,
+                    s.cache.plan_hit_rate() * 100.0
+                );
+                Ok(())
+            }
+            _ => Err(format!("unrecognized command: {line}")),
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+    }
+    let s = server.shutdown();
+    println!(
+        "server drained: {} submitted, {} completed, {} rejected",
+        s.submitted, s.completed, s.rejected
+    );
+    Ok(())
+}
+
+/// One interactive `mul A B P [BUDGET_MB]` submission (blocks for the
+/// report — the interactive loop is a single tenant).
+fn serve_one(
+    server: &spgemm_core::JobServer,
+    handles: &[spgemm_core::serve::OperandId],
+    words: &[&str],
+) -> Result<(), String> {
+    use spgemm_core::serve::{AdmitKind, JobOutcome};
+    use spgemm_core::JobSpec;
+
+    let idx = |w: &str| -> Result<_, String> {
+        let i: usize = w.parse().map_err(|_| format!("bad operand index: {w}"))?;
+        handles
+            .get(i)
+            .copied()
+            .ok_or(format!("no operand {i} registered yet"))
+    };
+    let p: usize = words[2].parse().map_err(|_| "bad process count")?;
+    let budget = match words.get(3) {
+        Some(mb) => {
+            let mb: f64 = mb.parse().map_err(|_| "bad budget")?;
+            MemoryBudget::new((mb * 1e6) as usize)
+        }
+        None => MemoryBudget::unlimited(),
+    };
+    let spec = JobSpec::new(idx(words[0])?, idx(words[1])?, p, budget);
+    let report = server.submit(spec).wait();
+    match report.outcome {
+        JobOutcome::Completed(done) => {
+            let shrunk = match done.admit {
+                AdmitKind::AsPlanned => String::new(),
+                AdmitKind::Shrunk {
+                    planned_batches,
+                    forced_batches,
+                } => format!(" (shrunk {planned_batches}->{forced_batches} batches)"),
+            };
+            let plan = match report.plan_source {
+                Some(spgemm_core::serve::PlanSource::Fresh) => "fresh",
+                Some(spgemm_core::serve::PlanSource::ProbeReused) => "probe-reused",
+                Some(spgemm_core::serve::PlanSource::Cached) => "cached",
+                None => "unplanned",
+            };
+            println!(
+                "job {} done: nnz(C) {} in {} batch(es) on {} layer(s){}, \
+                 modeled {:.5}s, queued {:.4}s, plan {plan}",
+                report.id,
+                done.nnz_c,
+                done.nbatches,
+                done.layers,
+                shrunk,
+                done.breakdown.total(),
+                report.queue_secs
+            );
+        }
+        JobOutcome::Rejected(reason) => println!("job {} rejected: {reason}", report.id),
     }
     Ok(())
 }

@@ -82,6 +82,11 @@ pub struct RunConfig {
     /// be bit-identical under any seed. Defaults to the
     /// `SPGEMM_PERTURB_SEED` environment variable (none if unset).
     pub perturb: Option<u64>,
+    /// Job id label for multi-tenant packing ([`crate::serve`]): when set,
+    /// the simulated rank threads are named `job-J-rank-I` and failure
+    /// reports lead with the job id, so concurrent worlds in one server
+    /// process stay tellable apart. `None` for standalone runs.
+    pub job: Option<u64>,
 }
 
 impl RunConfig {
@@ -104,6 +109,7 @@ impl RunConfig {
             check: CheckMode::default_mode(),
             backend: BackendKind::default_kind(),
             perturb: None,
+            job: None,
         }
     }
 
@@ -190,9 +196,12 @@ where
     R: Send,
     F: Fn(&mut spgemm_simgrid::Rank) -> R + Send + Sync,
 {
-    match cfg.perturb {
-        Some(seed) => run_ranks_seeded(cfg.p, cfg.machine, cfg.check, Some(seed), f),
-        None => run_ranks_checked(cfg.p, cfg.machine, cfg.check, f),
+    match (cfg.job, cfg.perturb) {
+        (Some(job), seed) => {
+            spgemm_simgrid::run_ranks_for_job(cfg.p, cfg.machine, cfg.check, seed, job, f)
+        }
+        (None, Some(seed)) => run_ranks_seeded(cfg.p, cfg.machine, cfg.check, Some(seed), f),
+        (None, None) => run_ranks_checked(cfg.p, cfg.machine, cfg.check, f),
     }
 }
 

@@ -27,9 +27,11 @@
 //! nonzero budget model and runtime peak tracking), [`model`] (the
 //! analytic Table II/III cost evaluator), [`harness`] (one-call
 //! scatter→multiply→gather drivers used by tests, examples and benches),
-//! and [`audit`] (payload-free symbolic extraction and exhaustive
+//! [`audit`] (payload-free symbolic extraction and exhaustive
 //! verification of the communication schedule across the planner's whole
-//! configuration grid).
+//! configuration grid), and [`serve`] (SpGEMM as a service: a resident
+//! multi-tenant job server with admission control under a global memory
+//! budget and a sketch-keyed plan cache).
 
 #![forbid(unsafe_code)]
 
@@ -43,6 +45,7 @@ pub mod kernels;
 pub mod memory;
 pub mod model;
 pub mod planner;
+pub mod serve;
 pub mod session;
 pub mod summa2d;
 pub mod summa3d;
@@ -61,7 +64,10 @@ pub use harness::{
 };
 pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};
-pub use planner::{MachineProfile, PlanReport, PlannerConfig, ProbeConfig};
+pub use planner::{MachineProfile, PlanReport, PlannerConfig, ProbeConfig, StructuralSketch};
+pub use serve::{
+    JobReport, JobServer, JobSpec, LoadgenConfig, LoadgenReport, ServerConfig, ServerStats,
+};
 pub use session::{IterSession, SessionIterStats};
 pub use summa2d::{MergeSchedule, OverlapMode};
 pub use symbolic::{symbolic3d, SymbolicOutcome};

@@ -29,6 +29,7 @@ pub mod candidate;
 pub mod predict;
 pub mod probe;
 pub mod report;
+pub mod sketch;
 
 pub use calibrate::{calibrate, CalibrationInput, MachineProfile};
 pub use candidate::{enumerate_candidates, Candidate};
@@ -37,6 +38,7 @@ pub use predict::{
 };
 pub use probe::{probe, ProbeConfig, ProbeEstimate};
 pub use report::PlanReport;
+pub use sketch::StructuralSketch;
 
 use crate::exchange::ExchangeMode;
 use crate::harness::RunConfig;
@@ -130,6 +132,26 @@ pub fn plan<T: Copy, U: Copy>(
             b.ncols()
         )));
     }
+    let est = probe(a, b, &cfg.probe)?;
+    plan_with_probe(p, a, b, cfg, &est)
+}
+
+/// [`plan`] with the probe already taken: predict and rank every candidate
+/// against `est` instead of re-probing the operands.
+///
+/// This is the entry point for callers that memoize probes — the serve
+/// subsystem's operand store probes each registered pair once and replans
+/// repeat jobs from the cached [`ProbeEstimate`]. The operands are still
+/// required for the exact per-layer placement scan ([`grid_shape`]), which
+/// depends on `p` and the candidate layer counts, not just structure
+/// statistics.
+pub fn plan_with_probe<T: Copy, U: Copy>(
+    p: usize,
+    a: &CscMatrix<T>,
+    b: &CscMatrix<U>,
+    cfg: &PlannerConfig,
+    est: &ProbeEstimate,
+) -> Result<PlanReport> {
     let candidates = enumerate_candidates(
         p,
         cfg.layers.as_deref(),
@@ -137,7 +159,6 @@ pub fn plan<T: Copy, U: Copy>(
         &cfg.overlaps,
         &cfg.exchanges,
     )?;
-    let est = probe(a, b, &cfg.probe)?;
 
     // One exact placement scan per distinct layer count.
     let mut shapes: Vec<(usize, GridShape)> = Vec::new();
@@ -154,7 +175,7 @@ pub fn plan<T: Copy, U: Copy>(
             predict::predict_candidate(
                 p,
                 shape,
-                &est,
+                est,
                 &cfg.machine,
                 &cfg.budget,
                 cfg.include_symbolic,

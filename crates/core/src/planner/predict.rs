@@ -273,6 +273,15 @@ pub struct CandidatePrediction {
     /// Predicted per-process peak bytes (inputs + one batch's unmerged
     /// intermediate).
     pub peak_bytes_per_proc: usize,
+    /// The irreducible part of the peak: per-process input bytes under
+    /// this candidate's placement. Batching cannot shrink this term.
+    pub input_bytes_per_proc: usize,
+    /// The batch-divisible part of the peak: the heaviest process's
+    /// *unmerged* intermediate at `b = 1`. The peak at any batch count is
+    /// `input_bytes_per_proc + ceil(unmerged_bytes_per_proc / b)` — the
+    /// arithmetic an admission controller replays when it shrinks a job
+    /// to fit a partially-consumed budget.
+    pub unmerged_bytes_per_proc: usize,
     /// Why the candidate is infeasible (empty when feasible).
     pub note: String,
 }
@@ -306,6 +315,8 @@ fn infeasible(
         one_time_s: 0.0,
         total_s: f64::INFINITY,
         peak_bytes_per_proc: usize::MAX,
+        input_bytes_per_proc: usize::MAX,
+        unmerged_bytes_per_proc: usize::MAX,
         note,
     }
 }
@@ -480,6 +491,7 @@ pub fn predict_candidate(
     } else {
         BindingConstraint::MemoryBudget
     };
+    let unmerged_bytes_per_proc = (r as f64 * max_unmerged_proc).ceil() as usize;
     let peak_bytes_per_proc =
         input_bytes + ((r as f64 * max_unmerged_proc / batches as f64).ceil() as usize);
 
@@ -635,6 +647,8 @@ pub fn predict_candidate(
         one_time_s: one_time,
         total_s: (single_shot - one_time) + one_time / n_iter,
         peak_bytes_per_proc,
+        input_bytes_per_proc: input_bytes,
+        unmerged_bytes_per_proc,
         note: String::new(),
     }
 }

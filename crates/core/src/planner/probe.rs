@@ -53,6 +53,13 @@ impl ProbeConfig {
 /// What the probe learned, per sampled column and in (scaled) total.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeEstimate {
+    /// `nrows(A)` — with [`ProbeEstimate::nrows_b`] (= `ncols(A)`) and
+    /// [`ProbeEstimate::total_cols`] (= `ncols(B)`) this pins all four
+    /// operand dimensions, so a [`super::sketch::StructuralSketch`] derived
+    /// from the probe distinguishes shape, not just sparsity.
+    pub nrows_a: usize,
+    /// `nrows(B)` = `ncols(A)` — the inner dimension.
+    pub nrows_b: usize,
     /// `ncols(B)` — the batching upper bound.
     pub total_cols: usize,
     /// Global column ids probed, ascending.
@@ -140,6 +147,8 @@ pub fn probe<T: Copy, U: Copy>(
     let n = b.ncols();
     if n == 0 {
         return Ok(ProbeEstimate {
+            nrows_a: a.nrows(),
+            nrows_b: b.nrows(),
             total_cols: 0,
             cols: Vec::new(),
             scale: 1.0,
@@ -178,6 +187,8 @@ pub fn probe<T: Copy, U: Copy>(
     let sum_f: u64 = col_flops.iter().sum();
     let sum_d: u64 = counts.iter().sum();
     Ok(ProbeEstimate {
+        nrows_a: a.nrows(),
+        nrows_b: b.nrows(),
         total_cols: n,
         cols,
         scale,

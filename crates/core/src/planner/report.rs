@@ -195,6 +195,8 @@ mod tests {
                 total
             },
             peak_bytes_per_proc: 1024,
+            input_bytes_per_proc: 512,
+            unmerged_bytes_per_proc: 1024,
             note: if constraint == BindingConstraint::InputsTooLarge {
                 "inputs exceed budget".into()
             } else {

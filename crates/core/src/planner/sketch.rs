@@ -1,0 +1,233 @@
+//! Structural sketches: a stable 64-bit fingerprint of an operand pair's
+//! *sparsity structure*, derived from the planner's sampled probe.
+//!
+//! The probe ([`mod@super::probe`]) is deliberately structure-only: it never
+//! reads a single stored value, so two operand pairs with the same
+//! dimensions and the same nonzero pattern probe identically no matter
+//! what numbers they hold. A [`StructuralSketch`] canonically hashes that
+//! probe — dimensions, exact input nonzero counts, the sampled column ids,
+//! and the per-column occupancy profile `(fⱼ, dⱼ, nnz(B(:,j)))` — into one
+//! `u64` plus human-readable summary fields.
+//!
+//! Equality of sketches is the plan cache's notion of "same shape": the
+//! serve subsystem keys cached planner decisions on it, so a repeat job
+//! whose operands sketch equal to an earlier pair skips probe + predict
+//! entirely. Callers can use it the same way for any memoization keyed on
+//! problem structure (the probe's seed and sampling bounds are part of the
+//! hash, so sketches taken under different [`super::ProbeConfig`]s never
+//! collide by construction).
+//!
+//! Stability contract: the hash is a deterministic FNV-1a over a canonical
+//! little-endian byte stream — no `RandomState`, no pointer identity — so
+//! it is reproducible across runs and processes. It is *not* promised
+//! stable across versions of the probe itself: a change to the sampling
+//! scheme legitimately changes what "structure" was observed.
+
+use super::probe::{ProbeConfig, ProbeEstimate};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+/// Incremental FNV-1a over little-endian words (dependency-free, stable).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// A stable structural fingerprint of one probed operand pair.
+///
+/// Built by [`StructuralSketch::from_probe`]; compared by
+/// [`StructuralSketch::hash`] (the summary fields ride along for reports
+/// and cache introspection, and are themselves inputs to the hash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructuralSketch {
+    /// Canonical 64-bit FNV-1a hash of the probe's structural content.
+    pub hash: u64,
+    /// `nrows(A)`.
+    pub nrows_a: usize,
+    /// Inner dimension `ncols(A)` = `nrows(B)`.
+    pub inner: usize,
+    /// `ncols(B)`.
+    pub ncols_b: usize,
+    /// Exact `nnz(A)`.
+    pub nnz_a: u64,
+    /// Exact `nnz(B)`.
+    pub nnz_b: u64,
+    /// Scaled flop estimate from the probe (summary only; already hashed
+    /// via the per-column profile it is derived from).
+    pub flops: u64,
+    /// Scaled `nnz(C)` estimate from the probe.
+    pub nnz_c: u64,
+    /// How many columns the probe sampled (the profile's resolution).
+    pub sampled_cols: usize,
+}
+
+impl StructuralSketch {
+    /// Sketch a probe taken under `cfg`.
+    ///
+    /// The sampling parameters are hashed alongside the observations:
+    /// probes of the same operands under different seeds or fractions see
+    /// different column subsets and must not alias in a cache.
+    pub fn from_probe(est: &ProbeEstimate, cfg: &ProbeConfig) -> Self {
+        let mut h = Fnv::new();
+        // Sampling scheme.
+        h.write_u64(cfg.seed);
+        h.write_u64(cfg.sample_fraction.to_bits());
+        h.write_usize(cfg.min_cols);
+        h.write_usize(cfg.max_cols);
+        // Dimensions and exact input sizes.
+        h.write_usize(est.nrows_a);
+        h.write_usize(est.nrows_b);
+        h.write_usize(est.total_cols);
+        h.write_u64(est.nnz_a);
+        h.write_u64(est.nnz_b);
+        // Which columns were observed, and their occupancy profile. This
+        // is the per-block structural signature: flops, distinct output
+        // rows and B-column weight per sampled column.
+        h.write_usize(est.cols.len());
+        for &c in &est.cols {
+            h.write_usize(c);
+        }
+        for (&f, (&d, &k)) in est
+            .col_flops
+            .iter()
+            .zip(est.col_nnz.iter().zip(est.col_bnnz.iter()))
+        {
+            h.write_u64(f);
+            h.write_u64(d);
+            h.write_u64(k);
+        }
+        StructuralSketch {
+            hash: h.0,
+            nrows_a: est.nrows_a,
+            inner: est.nrows_b,
+            ncols_b: est.total_cols,
+            nnz_a: est.nnz_a,
+            nnz_b: est.nnz_b,
+            flops: est.flops,
+            nnz_c: est.nnz_c,
+            sampled_cols: est.cols.len(),
+        }
+    }
+
+    /// Short display form for reports: `a1b2c3d4 (MxKxN, nnzA/nnzB)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{:016x} ({}x{}x{}, {}/{})",
+            self.hash, self.nrows_a, self.inner, self.ncols_b, self.nnz_a, self.nnz_b
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::probe::probe;
+    use spgemm_sparse::gen::er_random;
+    use spgemm_sparse::semiring::PlusTimesF64;
+
+    fn sketch_of(a: &spgemm_sparse::CscMatrix<f64>, b: &spgemm_sparse::CscMatrix<f64>, cfg: &ProbeConfig) -> StructuralSketch {
+        StructuralSketch::from_probe(&probe(a, b, cfg).unwrap(), cfg)
+    }
+
+    #[test]
+    fn equal_structures_sketch_equal_and_deterministically() {
+        let a = er_random::<PlusTimesF64>(120, 120, 6, 41);
+        let b = er_random::<PlusTimesF64>(120, 120, 6, 42);
+        let cfg = ProbeConfig::default();
+        let s1 = sketch_of(&a, &b, &cfg);
+        let s2 = sketch_of(&a, &b, &cfg);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.hash, s2.hash);
+        // A deep-copied pair (new allocations, same structure) sketches
+        // identically: the hash covers content, never identity.
+        #[allow(clippy::redundant_clone)]
+        let (a2, b2) = (a.clone(), b.clone());
+        assert_eq!(sketch_of(&a2, &b2, &cfg), s1);
+    }
+
+    #[test]
+    fn value_changes_do_not_perturb_the_sketch() {
+        let a = er_random::<PlusTimesF64>(100, 100, 5, 43);
+        let b = er_random::<PlusTimesF64>(100, 100, 5, 44);
+        let cfg = ProbeConfig::default();
+        let s = sketch_of(&a, &b, &cfg);
+        // Same pattern, completely different values.
+        let a_scaled = a.map(|v| v * -1234.5 + 1.0);
+        let b_scaled = b.map(|v| v.mul_add(0.0, 99.0));
+        assert_eq!(sketch_of(&a_scaled, &b_scaled, &cfg), s);
+    }
+
+    #[test]
+    fn structure_changes_change_the_hash() {
+        let a = er_random::<PlusTimesF64>(100, 100, 5, 45);
+        let b = er_random::<PlusTimesF64>(100, 100, 5, 46);
+        let cfg = ProbeConfig::default();
+        let s = sketch_of(&a, &b, &cfg);
+        // Different sparsity pattern (new seed).
+        let b_other = er_random::<PlusTimesF64>(100, 100, 5, 47);
+        assert_ne!(sketch_of(&a, &b_other, &cfg).hash, s.hash);
+        // Same nnz-per-column knobs, different dimensions.
+        let a_wide = er_random::<PlusTimesF64>(100, 200, 5, 45);
+        let b_tall = er_random::<PlusTimesF64>(200, 100, 5, 46);
+        assert_ne!(sketch_of(&a_wide, &b_tall, &cfg).hash, s.hash);
+        // Swapping the operand roles is a different problem.
+        assert_ne!(sketch_of(&b, &a, &cfg).hash, s.hash);
+    }
+
+    #[test]
+    fn probe_config_is_part_of_the_key() {
+        let a = er_random::<PlusTimesF64>(600, 600, 4, 48);
+        let b = er_random::<PlusTimesF64>(600, 600, 4, 49);
+        let cfg = ProbeConfig::default();
+        let other_seed = ProbeConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        };
+        assert_ne!(
+            sketch_of(&a, &b, &cfg).hash,
+            sketch_of(&a, &b, &other_seed).hash
+        );
+        // The exact probe sees every column: a different *kind* of key.
+        assert_ne!(
+            sketch_of(&a, &b, &cfg).hash,
+            sketch_of(&a, &b, &ProbeConfig::exact()).hash
+        );
+    }
+
+    #[test]
+    fn summary_fields_mirror_the_probe() {
+        let a = er_random::<PlusTimesF64>(80, 90, 4, 50);
+        let b = er_random::<PlusTimesF64>(90, 70, 4, 51);
+        let cfg = ProbeConfig::exact();
+        let est = probe(&a, &b, &cfg).unwrap();
+        let s = StructuralSketch::from_probe(&est, &cfg);
+        assert_eq!(
+            (s.nrows_a, s.inner, s.ncols_b),
+            (80, 90, 70),
+        );
+        assert_eq!(s.nnz_a, a.nnz() as u64);
+        assert_eq!(s.nnz_b, b.nnz() as u64);
+        assert_eq!(s.flops, est.flops);
+        assert_eq!(s.nnz_c, est.nnz_c);
+        assert_eq!(s.sampled_cols, 70);
+        assert!(s.label().contains("80x90x70"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Load generation against a running [`JobServer`]: open- and closed-loop
+//! arrival, latency percentiles, and a CSV-friendly report.
+//!
+//! The generator draws jobs from a caller-supplied spec pool (the bench
+//! builds fig3/fig4-shaped workloads; the CLI builds small synthetic
+//! ones), submits them under one of two arrival processes, and reduces
+//! the per-job [`JobReport`]s into the numbers a serving system is judged
+//! by — throughput, p50/p99 latency, queue behaviour, admission and
+//! plan-cache statistics:
+//!
+//! * **Open loop** ([`ArrivalProcess::Open`]): submissions arrive at a
+//!   fixed rate regardless of completions, the canonical way to expose
+//!   queueing — when offered load exceeds capacity, the queue (and p99)
+//!   grows.
+//! * **Closed loop** ([`ArrivalProcess::Closed`]): a fixed number of
+//!   tenants each keep exactly one job outstanding, the canonical way to
+//!   measure saturated throughput without unbounded queues.
+//!
+//! Spec selection is seeded and deterministic (splitmix64), so a loadgen
+//! run is reproducible end to end: same pool, same seed → same submission
+//! sequence.
+
+use super::job::{JobOutcome, JobReport, JobSpec};
+use super::server::{JobServer, ServerStats};
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+/// How submissions arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed-rate submission, independent of completions.
+    Open {
+        /// Submissions per second (`f64::INFINITY` = submit as fast as
+        /// possible).
+        rate_hz: f64,
+    },
+    /// `concurrency` tenants, each with exactly one job outstanding.
+    Closed {
+        /// Outstanding jobs to maintain.
+        concurrency: usize,
+    },
+}
+
+/// One load-generation campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Total jobs to submit.
+    pub jobs: usize,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Seed of the deterministic spec picker.
+    pub seed: u64,
+}
+
+/// What one campaign measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs explicitly rejected.
+    pub rejected: usize,
+    /// Wall-clock seconds from first submission to last report.
+    pub wall_secs: f64,
+    /// Completed jobs per wall-clock second.
+    pub throughput_jobs_per_sec: f64,
+    /// Median submit→report latency (completed jobs).
+    pub p50_total_secs: f64,
+    /// 99th-percentile submit→report latency (completed jobs).
+    pub p99_total_secs: f64,
+    /// Median submit→admit wait (completed jobs).
+    pub p50_queue_secs: f64,
+    /// 99th-percentile submit→admit wait (completed jobs).
+    pub p99_queue_secs: f64,
+    /// Final server counters (queue depth highs, admission decisions,
+    /// cache hits — everything in [`ServerStats`]).
+    pub server: ServerStats,
+}
+
+impl LoadgenReport {
+    /// CSV header matching [`LoadgenReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "jobs,completed,rejected,wall_secs,throughput_jobs_per_sec,\
+         p50_total_secs,p99_total_secs,p50_queue_secs,p99_queue_secs,\
+         peak_queue_depth,shrunk_admissions,plan_hits,plan_misses,\
+         plan_evictions,plan_hit_rate,probe_hits,probe_misses,\
+         peak_reserved_bytes,budget_bytes"
+    }
+
+    /// One CSV row of every measured quantity.
+    pub fn csv_row(&self) -> String {
+        let s = &self.server;
+        format!(
+            "{},{},{},{:.6},{:.3},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{:.4},{},{},{},{}",
+            self.jobs,
+            self.completed,
+            self.rejected,
+            self.wall_secs,
+            self.throughput_jobs_per_sec,
+            self.p50_total_secs,
+            self.p99_total_secs,
+            self.p50_queue_secs,
+            self.p99_queue_secs,
+            s.peak_queue_depth,
+            s.shrunk_admissions,
+            s.cache.plan_hits,
+            s.cache.plan_misses,
+            s.cache.plan_evictions,
+            s.cache.plan_hit_rate(),
+            s.cache.probe_hits,
+            s.cache.probe_misses,
+            s.peak_reserved_bytes,
+            s.budget_bytes,
+        )
+    }
+
+    /// Human-readable summary table.
+    pub fn to_table(&self) -> String {
+        let s = &self.server;
+        format!(
+            "jobs {} | completed {} | rejected {}\n\
+             wall {:.3}s | throughput {:.1} jobs/s\n\
+             latency p50 {:.4}s p99 {:.4}s | queue wait p50 {:.4}s p99 {:.4}s\n\
+             peak queue depth {} | shrunk admissions {} | queued ever {}\n\
+             plan cache: {} hits / {} misses ({:.0}% hit rate), {} evictions\n\
+             probe memo: {} hits / {} misses\n\
+             budget: peak reserved {} of {} bytes",
+            self.jobs,
+            self.completed,
+            self.rejected,
+            self.wall_secs,
+            self.throughput_jobs_per_sec,
+            self.p50_total_secs,
+            self.p99_total_secs,
+            self.p50_queue_secs,
+            self.p99_queue_secs,
+            s.peak_queue_depth,
+            s.shrunk_admissions,
+            s.queued_ever,
+            s.cache.plan_hits,
+            s.cache.plan_misses,
+            s.cache.plan_hit_rate() * 100.0,
+            s.cache.plan_evictions,
+            s.cache.probe_hits,
+            s.cache.probe_misses,
+            s.peak_reserved_bytes,
+            s.budget_bytes,
+        )
+    }
+}
+
+/// splitmix64 — the deterministic spec picker's stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Percentile by nearest-rank over an already-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive `cfg.jobs` submissions drawn from `specs` against `server` and
+/// reduce the reports.
+///
+/// Specs are drawn uniformly (seeded) from the pool, so a pool with
+/// repeated shapes exercises the plan cache exactly in proportion to its
+/// repetition. Panics if the pool is empty.
+pub fn run_loadgen(server: &JobServer, specs: &[JobSpec], cfg: &LoadgenConfig) -> LoadgenReport {
+    assert!(!specs.is_empty(), "loadgen needs a non-empty spec pool");
+    let mut rng = cfg.seed;
+    let mut pick = || specs[(splitmix64(&mut rng) % specs.len() as u64) as usize].clone();
+    let (tx, rx) = channel::<JobReport>();
+    let start = Instant::now();
+    let mut reports: Vec<JobReport> = Vec::with_capacity(cfg.jobs);
+
+    match cfg.arrival {
+        ArrivalProcess::Open { rate_hz } => {
+            let gap = if rate_hz.is_finite() && rate_hz > 0.0 {
+                Some(Duration::from_secs_f64(1.0 / rate_hz))
+            } else {
+                None
+            };
+            for i in 0..cfg.jobs {
+                server.submit_with(pick(), tx.clone());
+                if let Some(gap) = gap {
+                    // Pace against the campaign clock, not per-submit
+                    // sleeps, so slow submits don't drift the offered rate.
+                    let next_at = start + gap * (i as u32 + 1);
+                    let now = Instant::now();
+                    if next_at > now {
+                        std::thread::sleep(next_at - now);
+                    }
+                }
+            }
+            for _ in 0..cfg.jobs {
+                reports.push(rx.recv().expect("server dropped a loadgen report"));
+            }
+        }
+        ArrivalProcess::Closed { concurrency } => {
+            let window = concurrency.max(1).min(cfg.jobs);
+            let mut submitted = 0;
+            while submitted < window {
+                server.submit_with(pick(), tx.clone());
+                submitted += 1;
+            }
+            while reports.len() < cfg.jobs {
+                let report = rx.recv().expect("server dropped a loadgen report");
+                reports.push(report);
+                if submitted < cfg.jobs {
+                    server.submit_with(pick(), tx.clone());
+                    submitted += 1;
+                }
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut totals: Vec<f64> = Vec::new();
+    let mut queues: Vec<f64> = Vec::new();
+    let mut completed = 0;
+    let mut rejected = 0;
+    for r in &reports {
+        match &r.outcome {
+            JobOutcome::Completed(_) => {
+                completed += 1;
+                totals.push(r.total_secs);
+                queues.push(r.queue_secs);
+            }
+            JobOutcome::Rejected(_) => rejected += 1,
+        }
+    }
+    totals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    queues.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    LoadgenReport {
+        jobs: cfg.jobs,
+        completed,
+        rejected,
+        wall_secs,
+        throughput_jobs_per_sec: if wall_secs > 0.0 {
+            completed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        p50_total_secs: percentile(&totals, 0.50),
+        p99_total_secs: percentile(&totals, 0.99),
+        p50_queue_secs: percentile(&queues, 0.50),
+        p99_queue_secs: percentile(&queues, 0.99),
+        server: server.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0); // round(1.5) = 2
+        assert_eq!(percentile(&xs, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn spec_picker_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let mut c = 43u64;
+        assert_ne!(xs, (0..8).map(|_| splitmix64(&mut c)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let report = LoadgenReport {
+            jobs: 10,
+            completed: 9,
+            rejected: 1,
+            wall_secs: 1.0,
+            throughput_jobs_per_sec: 9.0,
+            p50_total_secs: 0.1,
+            p99_total_secs: 0.2,
+            p50_queue_secs: 0.0,
+            p99_queue_secs: 0.05,
+            server: ServerStats::default(),
+        };
+        let header_cols = LoadgenReport::csv_header().split(',').count();
+        let row_cols = report.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(report.to_table().contains("throughput"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Plan-cache correctness through the full server: a cached plan's
+//! replay is bit-identical to the fresh run, eviction happens at
+//! capacity, and a structurally different operand never falsely hits.
+
+use spgemm_core::serve::PlanSource;
+use spgemm_core::{JobServer, JobSpec, MemoryBudget, ServerConfig, ServerStats};
+use spgemm_simgrid::Machine;
+use spgemm_sparse::gen::{clustered_similarity, er_random};
+use spgemm_sparse::semiring::PlusTimesF64;
+use spgemm_sparse::CscMatrix;
+
+fn server_with(cache_capacity: usize) -> JobServer {
+    let mut cfg = ServerConfig::new(usize::MAX / 4);
+    cfg.machine = Machine::knl_mini();
+    cfg.cache_capacity = cache_capacity;
+    JobServer::start(cfg)
+}
+
+fn mat(seed: u64) -> CscMatrix<f64> {
+    er_random::<PlusTimesF64>(48, 48, 4, seed)
+}
+
+/// Replaying a cached plan produces the exact product the fresh plan
+/// produced — same values, same structure — and the cached run really
+/// replays the same configuration (batches, layers).
+#[test]
+fn cached_plan_replay_is_bit_identical() {
+    let server = server_with(16);
+    let a = server.register(mat(71));
+    let b = server.register(mat(72));
+    let spec = JobSpec::new(a, b, 4, MemoryBudget::unlimited());
+
+    let fresh = server.submit(spec.clone()).wait();
+    assert_eq!(fresh.plan_source, Some(PlanSource::Fresh));
+    let fresh = fresh.completed().expect("ample budget completes");
+
+    let cached = server.submit(spec).wait();
+    assert_eq!(cached.plan_source, Some(PlanSource::Cached));
+    let cached = cached.completed().expect("completes");
+
+    assert_eq!(cached.nbatches, fresh.nbatches);
+    assert_eq!(cached.layers, fresh.layers);
+    let (cf, cc) = (fresh.c.as_ref().unwrap(), cached.c.as_ref().unwrap());
+    assert!(cf.eq_modulo_order(cc), "cached replay diverged from fresh run");
+    // Bit-level, not approximate: identical nnz and exact values.
+    assert_eq!(cf.nnz(), cc.nnz());
+    server.shutdown();
+}
+
+/// A capacity-1 cache evicts: A, then B (evicts A's plan), then A again
+/// must re-predict (probe memo still hits — eviction only drops plans).
+#[test]
+fn eviction_forces_a_repredict_but_not_a_reprobe() {
+    let server = server_with(1);
+    let a = server.register(mat(81));
+    let b = server.register(mat(82));
+    let spec_a = JobSpec::new(a, a, 4, MemoryBudget::unlimited());
+    let spec_b = JobSpec::new(b, b, 4, MemoryBudget::unlimited());
+
+    assert_eq!(
+        server.submit(spec_a.clone()).wait().plan_source,
+        Some(PlanSource::Fresh)
+    );
+    assert_eq!(server.submit(spec_b).wait().plan_source, Some(PlanSource::Fresh));
+    // A's plan was evicted by B's insert; its probe memo survives.
+    let again = server.submit(spec_a).wait();
+    assert_eq!(again.plan_source, Some(PlanSource::ProbeReused));
+
+    let stats: ServerStats = server.shutdown();
+    assert!(stats.cache.plan_evictions >= 1, "capacity-1 cache never evicted");
+    assert_eq!(stats.cache.plan_hits, 0);
+    assert_eq!(stats.cache.plan_misses, 3);
+}
+
+/// The cache key is the structural sketch: a *different* structure under
+/// the same (p, budget) must miss, while a re-registered *identical*
+/// structure under new handles still hits the plan level.
+#[test]
+fn sketch_mismatch_invalidates_and_sketch_match_dedups() {
+    let server = server_with(16);
+
+    // Same dims and similar nnz, different sparsity structure.
+    let a = server.register(mat(91));
+    let clustered = server.register(clustered_similarity(4, 12, 8, 1, 91));
+    let rep_a = server.submit(JobSpec::new(a, a, 4, MemoryBudget::unlimited())).wait();
+    assert_eq!(rep_a.plan_source, Some(PlanSource::Fresh));
+    let rep_c = server
+        .submit(JobSpec::new(clustered, clustered, 4, MemoryBudget::unlimited()))
+        .wait();
+    assert_eq!(
+        rep_c.plan_source,
+        Some(PlanSource::Fresh),
+        "structurally different operands must not hit the plan cache"
+    );
+
+    // Same content registered under fresh handles: the probe memo (keyed
+    // by handles) misses, but the sketch matches, so the plan level hits.
+    let a2 = server.register(mat(91));
+    let rep_a2 = server.submit(JobSpec::new(a2, a2, 4, MemoryBudget::unlimited())).wait();
+    assert_eq!(
+        rep_a2.plan_source,
+        Some(PlanSource::Cached),
+        "identical structure under new handles should dedup at the plan level"
+    );
+    let done_a = rep_a.completed().unwrap();
+    let done_a2 = rep_a2.completed().unwrap();
+    assert!(done_a.c.as_ref().unwrap().eq_modulo_order(done_a2.c.as_ref().unwrap()));
+
+    // Same structure but a different per-job budget re-predicts: the key
+    // includes the budget because it changes the planned batch count.
+    let rep_tight = server
+        .submit(JobSpec::new(a, a, 4, MemoryBudget::new(1 << 20)))
+        .wait();
+    assert_eq!(rep_tight.plan_source, Some(PlanSource::ProbeReused));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.plan_hits, 1);
+    assert_eq!(stats.completed, 4);
+}

@@ -52,7 +52,7 @@ where
     R: Send,
     F: Fn(&mut Rank) -> R + Send + Sync,
 {
-    run_ranks_inner(p, machine, mode, env_perturb_seed(), false, f).0
+    run_ranks_inner(p, machine, mode, env_perturb_seed(), false, None, f).0
 }
 
 /// [`run_ranks_checked`] with an explicit schedule-perturbation seed.
@@ -73,7 +73,32 @@ where
     R: Send,
     F: Fn(&mut Rank) -> R + Send + Sync,
 {
-    run_ranks_inner(p, machine, mode, seed, false, f).0
+    run_ranks_inner(p, machine, mode, seed, false, None, f).0
+}
+
+/// [`run_ranks_seeded`] with a job label for multi-tenant packing: when
+/// several simulated clusters run concurrently in one process (the serve
+/// subsystem schedules one `run_ranks` world per admitted job), rank
+/// threads are named `job-J-rank-I` instead of `rank-I` and panic reports
+/// lead with the job id — so a stack dump or failure message of a packed
+/// server names *which* job's world misbehaved.
+///
+/// A `None` seed falls back to `SPGEMM_PERTURB_SEED`, like
+/// [`run_ranks_checked`].
+pub fn run_ranks_for_job<R, F>(
+    p: usize,
+    machine: Machine,
+    mode: CheckMode,
+    seed: Option<u64>,
+    job: u64,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Send + Sync,
+{
+    let seed = seed.or_else(env_perturb_seed);
+    run_ranks_inner(p, machine, mode, seed, false, Some(job), f).0
 }
 
 /// [`run_ranks`] with the protocol checker forced on and its op log
@@ -86,7 +111,7 @@ where
     R: Send,
     F: Fn(&mut Rank) -> R + Send + Sync,
 {
-    run_ranks_inner(p, machine, CheckMode::Check, env_perturb_seed(), true, f)
+    run_ranks_inner(p, machine, CheckMode::Check, env_perturb_seed(), true, None, f)
 }
 
 fn run_ranks_inner<R, F>(
@@ -95,6 +120,7 @@ fn run_ranks_inner<R, F>(
     mode: CheckMode,
     perturb: Option<u64>,
     log: bool,
+    job: Option<u64>,
     f: F,
 ) -> (Vec<R>, Vec<LoggedOp>)
 where
@@ -133,7 +159,10 @@ where
             let world = Arc::clone(&world);
             let handle = s
                 .builder()
-                .name(format!("rank-{i}"))
+                .name(match job {
+                    Some(j) => format!("job-{j}-rank-{i}"),
+                    None => format!("rank-{i}"),
+                })
                 .stack_size(RANK_STACK_BYTES)
                 .spawn(move |_| {
                     let mut rank = Rank::new(i, world, rx, machine);
@@ -155,6 +184,10 @@ where
     })
     .expect("rank scope failed");
 
+    let who = |i: usize| match job {
+        Some(j) => format!("job {j} rank {i}"),
+        None => format!("rank {i}"),
+    };
     if !failures.is_empty() {
         // An algorithmic failure outranks the secondary panics it causes on
         // peer ranks: protocol reports (stall, poison wake-ups) *and*
@@ -164,7 +197,7 @@ where
         let secondary =
             |msg: &str| msg.contains("protocol violation") || msg.contains("rank mailbox closed");
         if let Some((i, msg)) = failures.iter().find(|(_, msg)| !secondary(msg)) {
-            panic!("rank {i} panicked: {msg}");
+            panic!("{} panicked: {msg}", who(*i));
         }
         if let Some(check) = &check {
             let violations = check.violations();
@@ -176,7 +209,7 @@ where
         // Only secondary infrastructure panics and no checker report (e.g.
         // checking off): surface the first one rather than nothing.
         let (i, msg) = &failures[0];
-        panic!("rank {i} panicked: {msg}");
+        panic!("{} panicked: {msg}", who(*i));
     }
 
     // Violations recorded at exit (orphaned point-to-point sends) don't
@@ -194,7 +227,7 @@ where
     let results = results
         .into_iter()
         .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("rank {i} produced no result")))
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("{} produced no result", who(i))))
         .collect();
     (results, op_log)
 }
