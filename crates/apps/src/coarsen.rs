@@ -102,6 +102,7 @@ pub fn heavy_connectivity_matching(
             overlap: Default::default(),
             exchange: Default::default(),
             backend: Default::default(),
+            algorithm: Default::default(),
         };
         let mut candidates: Vec<Candidate> = Vec::new();
         let result = batched_summa3d::<PlusTimesU64>(rank, &grid, &da, &db, &bcfg, |_r, out| {

@@ -146,6 +146,7 @@ fn batch_config(params: &MclParams) -> BatchConfig {
         overlap: params.overlap,
         exchange: params.exchange,
         backend: params.backend,
+        algorithm: Default::default(),
     }
 }
 

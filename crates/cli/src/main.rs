@@ -5,6 +5,8 @@
 //! spgemm info     --input M.mtx [--square | --aat]
 //! spgemm multiply --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--layers L | --auto] [--batches B | --budget-mb M]
+//!                 [--algorithm summa2d|summa3d|cola|innerabc|auto]
+//!                 [--repl-factor C]
 //!                 [--kernels new|previous] [--exchange dense|sparse]
 //!                 [--backend simgrid|native] [--threads N]
 //!                 [--machine knl|haswell|knl-mini|knl-ht]
@@ -13,6 +15,7 @@
 //!                 [--trace T.json] [--out C.mtx] [--verify] [--json]
 //! spgemm plan     --a M.mtx [--b N.mtx | --square | --aat] --procs P
 //!                 [--budget-mb M] [--machine NAME | --profile PROFILE.json]
+//!                 [--algorithm NAME|auto | --auto] [--repl-factor C]
 //!                 [--sample F] [--seed S] [--iters N]
 //! spgemm mcl      --input M.mtx --procs P [--layers L] [--inflation I]
 //!                 [--select K] [--budget-mb M] [--kernels new|previous]
@@ -26,7 +29,9 @@
 //!                 [--shape fig3-mcl|fig4-friendster|fig4-isolates] [--procs P]
 //!                 [--layers L] [--batches B | --auto-target T]
 //!                 [--exchange dense|sparse] [--overlap] [--iters N]
+//!                 [--algorithm summa3d|cola|innerabc] [--repl-factor C]
 //! spgemm serve    --budget-mb M [--max-concurrency N] [--cache-size K]
+//!                 [--algorithm NAME|auto] [--repl-factor C]
 //!                 [--backend simgrid|native] [--machine NAME] [--no-shrink]
 //!                 [--loadgen [--jobs N] [--arrival open|closed] [--rate R]
 //!                  [--concurrency C] [--seed S] [--csv OUT.csv]]
@@ -75,8 +80,8 @@ use spgemm_apps::triangles::{count_triangles, TriangleConfig};
 use spgemm_core::batched::BatchingStrategy;
 use spgemm_core::planner::{self, CalibrationInput, MachineProfile, PlannerConfig, ProbeConfig};
 use spgemm_core::{
-    run_spgemm, BackendKind, ExchangeMode, KernelStrategy, LayerChoice, MemoryBudget, OverlapMode,
-    RunConfig,
+    run_spgemm, AlgorithmFamily, BackendKind, ExchangeMode, KernelStrategy, LayerChoice,
+    MemoryBudget, OverlapMode, RunConfig,
 };
 use spgemm_simgrid::CheckMode;
 use spgemm_simgrid::{Machine, StepReport};
@@ -139,6 +144,43 @@ fn machine_from_args(args: &Args) -> Result<Machine, String> {
         Ok(profile.to_machine())
     } else {
         machine_by_name(args.opt("machine").unwrap_or("knl"))
+    }
+}
+
+/// `--algorithm NAME [--repl-factor C]`, shared by multiply/plan/serve.
+enum AlgorithmArg {
+    /// A concrete family, `--repl-factor` folded in for the 1.5D names.
+    Fixed(AlgorithmFamily),
+    /// `--algorithm auto`: sweep every family valid at `p`.
+    Auto,
+}
+
+fn algorithm_from_args(args: &Args) -> Result<Option<AlgorithmArg>, String> {
+    let c = args.get_or("repl-factor", 1usize)?;
+    match args.opt("algorithm") {
+        None => {
+            if args.opt("repl-factor").is_some() {
+                return Err("--repl-factor needs --algorithm cola or --algorithm innerabc".into());
+            }
+            Ok(None)
+        }
+        Some("auto") => {
+            if args.opt("repl-factor").is_some() {
+                return Err(
+                    "--algorithm auto sweeps every replication factor; drop --repl-factor".into(),
+                );
+            }
+            Ok(Some(AlgorithmArg::Auto))
+        }
+        Some(name) => {
+            let fam = AlgorithmFamily::parse(name, c).map_err(|e| e.to_string())?;
+            if args.opt("repl-factor").is_some() && !fam.is_15d() {
+                return Err(format!(
+                    "--repl-factor only applies to the 1.5D families (cola, innerabc), not {name}"
+                ));
+            }
+            Ok(Some(AlgorithmArg::Fixed(fam)))
+        }
     }
 }
 
@@ -294,6 +336,34 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         cfg.trace = true;
     }
     let json = args.flag("json");
+    match algorithm_from_args(args)? {
+        None => {}
+        Some(AlgorithmArg::Fixed(fam)) => {
+            fam.validate(p).map_err(|e| e.to_string())?;
+            cfg.algorithm = fam;
+        }
+        Some(AlgorithmArg::Auto) => {
+            // Cross-family planning: keep the user's kernel/overlap/
+            // exchange choices (`for_run` semantics) but open the family
+            // dimension, then run the predicted winner.
+            let mut pcfg = PlannerConfig::for_run(&cfg);
+            pcfg.layers = None;
+            pcfg.families = AlgorithmFamily::sweep(p);
+            let report = planner::plan(p, &a, &b, &pcfg).map_err(|e| e.to_string())?;
+            let winner = report
+                .winner()
+                .ok_or("algorithm auto: no candidate is feasible under the budget")?
+                .candidate;
+            cfg.algorithm = winner.family;
+            cfg.layers = LayerChoice::Fixed(winner.layers);
+            cfg.kernels = winner.kernels;
+            cfg.overlap = winner.overlap;
+            cfg.exchange = winner.exchange;
+            if !json {
+                println!("auto algorithm choice ({}):\n{}", winner.label(), report.to_table());
+            }
+        }
+    }
     let out = run_spgemm::<PlusTimesF64>(&cfg, &a, &b).map_err(|e| e.to_string())?;
     let layers = out.layers;
     if let Some(plan) = &out.plan {
@@ -310,16 +380,27 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     }
     let c = out.c.as_ref().expect("product gathered");
     if !json {
-        println!(
-            "C: {}x{} with {} nonzeros, computed in {} batch(es) on a {}x{}x{} grid",
-            c.nrows(),
-            c.ncols(),
-            c.nnz(),
-            out.nbatches,
-            ((p / layers) as f64).sqrt() as usize,
-            ((p / layers) as f64).sqrt() as usize,
-            layers
-        );
+        if cfg.algorithm.is_15d() {
+            println!(
+                "C: {}x{} with {} nonzeros, computed by {} on {} processes",
+                c.nrows(),
+                c.ncols(),
+                c.nnz(),
+                cfg.algorithm.label(),
+                p
+            );
+        } else {
+            println!(
+                "C: {}x{} with {} nonzeros, computed in {} batch(es) on a {}x{}x{} grid",
+                c.nrows(),
+                c.ncols(),
+                c.nnz(),
+                out.nbatches,
+                ((p / layers) as f64).sqrt() as usize,
+                ((p / layers) as f64).sqrt() as usize,
+                layers
+            );
+        }
         if let Some(sym) = &out.symbolic {
             println!(
                 "symbolic: b={} (Eq.2 bound {:?}), flops {}, max unmerged/process {}",
@@ -408,6 +489,8 @@ fn multiply_json(
     s.push_str(&format!("  \"grid\": [{side}, {side}, {}],\n", out.layers));
     s.push_str(&format!("  \"layers\": {},\n", out.layers));
     s.push_str(&format!("  \"batches\": {},\n", out.nbatches));
+    s.push_str(&format!("  \"algorithm\": \"{}\",\n", cfg.algorithm.name()));
+    s.push_str(&format!("  \"repl_factor\": {},\n", cfg.algorithm.repl_factor()));
     match cfg.backend {
         BackendKind::Native { threads } => {
             s.push_str("  \"backend\": \"native\",\n");
@@ -476,6 +559,16 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         seed: args.get_or("seed", ProbeConfig::default().seed)?,
         ..ProbeConfig::default()
     };
+    match algorithm_from_args(args)? {
+        None => {
+            // Bare `plan --auto` also opens the family dimension.
+            if args.flag("auto") {
+                pcfg.families = AlgorithmFamily::sweep(p);
+            }
+        }
+        Some(AlgorithmArg::Auto) => pcfg.families = AlgorithmFamily::sweep(p),
+        Some(AlgorithmArg::Fixed(fam)) => pcfg.families = vec![fam],
+    }
     let report = planner::plan(p, &a, &b, &pcfg).map_err(|e| e.to_string())?;
     print!("{}", report.to_table());
     Ok(())
@@ -598,6 +691,23 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
         } else {
             BatchSpec::Forced(args.get_or("batches", 1usize)?)
         };
+        let family = match algorithm_from_args(args)? {
+            None | Some(AlgorithmArg::Fixed(AlgorithmFamily::Summa3dBatched)) => {
+                AlgorithmFamily::Summa3dBatched
+            }
+            Some(AlgorithmArg::Auto) => {
+                return Err("audit takes a concrete --algorithm (use --sweep to cover the \
+                            whole family grid)"
+                    .into())
+            }
+            Some(AlgorithmArg::Fixed(fam)) if fam.is_15d() => fam,
+            Some(AlgorithmArg::Fixed(fam)) => {
+                return Err(format!(
+                    "audit extracts the summa3d, cola and innerabc schedules, not {}",
+                    fam.name()
+                ))
+            }
+        };
         let cfg = AuditConfig {
             shape,
             p: args.get_or("procs", 16usize)?,
@@ -613,6 +723,7 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
                 OverlapMode::Blocking
             },
             iterations: args.get_or("iters", 1usize)?,
+            family,
         };
         audit::AuditReport {
             results: vec![audit::audit_config(&cfg, fault)],
@@ -688,6 +799,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     if args.flag("check") {
         cfg.check = CheckMode::Check;
+    }
+    match algorithm_from_args(args)? {
+        None => {}
+        Some(AlgorithmArg::Auto) => cfg.families = spgemm_core::serve::FamilyPolicy::Sweep,
+        Some(AlgorithmArg::Fixed(fam)) => {
+            cfg.families = spgemm_core::serve::FamilyPolicy::Fixed(fam);
+        }
     }
 
     println!(

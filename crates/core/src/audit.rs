@@ -49,6 +49,9 @@
 //! tag, …) to prove the verifier actually catches them.
 
 use crate::exchange::{fetch_rep_tag, fetch_req_tag, ExchangeMode};
+use crate::family15::{
+    cola_ring, iabc_subring, iabc_team, shift_tag, AlgorithmFamily, COLOR_RING15, COLOR_TEAM15,
+};
 use crate::memory::R_BYTES_PER_NNZ;
 use crate::summa2d::OverlapMode;
 use crate::symbolic::alg3_batch_count;
@@ -476,6 +479,146 @@ pub fn trace_program(prog: &TraceProgram) -> Schedule {
     }
 }
 
+/// Symbolic executor for the gridless 1.5D families: the per-communicator
+/// sequence counters plus the recorded trace — [`SymRank`] minus the 2.5D
+/// grid, which 1.5D world sizes need not form (`p` only has to be
+/// divisible by `c`, not square).
+struct Sym15 {
+    op_seq: HashMap<u64, u64>,
+    events: Vec<AuditEvent>,
+}
+
+impl Sym15 {
+    fn next_seq(&mut self, comm: &Comm) -> u64 {
+        let seq = self.op_seq.entry(comm.id()).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    fn collective(&mut self, comm: &Comm, op: OpKind, root: Option<usize>, bytes: u64) {
+        let seq = self.next_seq(comm);
+        self.events.push(AuditEvent::Collective {
+            comm: comm.id(),
+            op,
+            root,
+            seq,
+            bytes,
+        });
+    }
+}
+
+/// Extract the schedule of a 1.5D family configuration: the exact
+/// communication pattern of [`crate::family15::spmm_15d`], which is as
+/// content-independent as the SUMMA schedules — every rank runs the full
+/// shift rotation whether or not its `A` block is empty.
+///
+/// Each session iteration is one full `spmm_15d` call (there is no 1.5D
+/// operand-caching session), so the scatter broadcasts and the root gather
+/// repeat per iteration. The shift tags `shift_tag(round)` are reused
+/// across iterations; that is collision-free because every shift send is
+/// matched by a blocking receive in the same round, so no envelope with
+/// that tag is still in flight at reuse time — a property the replay
+/// verifier re-proves here rather than assumes.
+pub fn trace_family15(cfg: &AuditConfig) -> crate::Result<Schedule> {
+    let fam = cfg.family;
+    fam.validate(cfg.p)?;
+    match cfg.batch {
+        BatchSpec::Forced(1) => {}
+        other => {
+            return Err(CoreError::Config(format!(
+                "{} admits only b=1 (the stationary dense stripes cannot batch), got {other}",
+                fam.label()
+            )))
+        }
+    }
+    let p = cfg.p;
+    let c = fam.repl_factor();
+    let t = p / c;
+    let rounds = match fam {
+        AlgorithmFamily::InnerAbc15 { .. } => t / c,
+        _ => t,
+    };
+
+    // Informational byte annotations (excluded from agreement checks):
+    // the scatter moves the globals, the reduce/gather move one dense `C`
+    // stripe (8 B/element, square `n × n` operands as the workload shapes
+    // model them). Point-to-point shift events carry no byte field.
+    let r = R_BYTES_PER_NNZ as u64;
+    let a_bytes = r * cfg.shape.nnz_a;
+    let b_bytes = 8 * cfg.shape.n * cfg.shape.n;
+    let stripe_bytes = 8 * cfg.shape.n * cfg.shape.n.div_ceil(t as u64);
+
+    let mut comms: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut traces = Vec::with_capacity(p);
+    for g in 0..p {
+        let world = Comm::for_rank((0..p).collect(), 0, g);
+        let (ring_members, team_members) = match fam {
+            AlgorithmFamily::InnerAbc15 { .. } => {
+                (iabc_subring(p, c, g), Some(iabc_team(p, c, g)))
+            }
+            _ => (cola_ring(p, c, g), None),
+        };
+        let ring = Comm::for_rank(ring_members, COLOR_RING15, g);
+        comms
+            .entry(world.id())
+            .or_insert_with(|| world.members().to_vec());
+        comms
+            .entry(ring.id())
+            .or_insert_with(|| ring.members().to_vec());
+
+        let mut sym = Sym15 {
+            op_seq: HashMap::new(),
+            events: Vec::new(),
+        };
+        let q = ring.size();
+        let pos = ring.my_index();
+        for _iter in 0..cfg.iterations {
+            // Scatter: root broadcasts the global operands.
+            sym.collective(&world, OpKind::Bcast, Some(0), a_bytes);
+            sym.collective(&world, OpKind::Bcast, Some(0), b_bytes);
+            // A-Shift rotation: `rounds − 1` ring shifts, send to the
+            // successor then block on the predecessor.
+            for round in 0..rounds {
+                if round + 1 < rounds {
+                    let succ = (pos + 1) % q;
+                    let pred = (pos + q - 1) % q;
+                    sym.events.push(AuditEvent::Send {
+                        comm: ring.id(),
+                        to: ring.member(succ),
+                        tag: shift_tag(round),
+                    });
+                    sym.events.push(AuditEvent::Recv {
+                        comm: ring.id(),
+                        from: ring.member(pred),
+                        tag: shift_tag(round),
+                    });
+                }
+            }
+            // C-Reduce (InnerABC, c > 1): the replication team combines
+            // its layer-partial stripes via allgather + local fold.
+            if let Some(members) = &team_members {
+                if c > 1 {
+                    let team = Comm::for_rank(members.clone(), COLOR_TEAM15, g);
+                    comms
+                        .entry(team.id())
+                        .or_insert_with(|| team.members().to_vec());
+                    sym.collective(&team, OpKind::Allgather, None, stripe_bytes);
+                }
+            }
+            // Gather the stationary stripes back to the root.
+            sym.collective(&world, OpKind::Gather, Some(0), stripe_bytes);
+        }
+        traces.push(sym.events);
+    }
+
+    Ok(Schedule {
+        traces,
+        comms,
+        nbatches: 1,
+        memory: None,
+    })
+}
+
 /// How a configuration chooses its batch count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchSpec {
@@ -552,21 +695,35 @@ pub struct AuditConfig {
     pub shape: WorkloadShape,
     /// World size.
     pub p: usize,
-    /// Layer count.
+    /// Layer count (ignored by the 1.5D families, which have no grid).
     pub l: usize,
-    /// Batch-count choice.
+    /// Batch-count choice (the 1.5D families accept only `Forced(1)`:
+    /// their stationary dense stripes cannot batch).
     pub batch: BatchSpec,
-    /// Stage-operand movement mode.
+    /// Stage-operand movement mode (SUMMA families only; 1.5D moves `A`
+    /// by ring shifts).
     pub exchange: ExchangeMode,
-    /// Blocking or pipelined stages.
+    /// Blocking or pipelined stages (SUMMA families only).
     pub overlap: OverlapMode,
     /// Session iteration count.
     pub iterations: usize,
+    /// Which algorithm family's schedule to extract.
+    pub family: AlgorithmFamily,
 }
 
 impl AuditConfig {
     /// Human-readable configuration label used in reports.
     pub fn label(&self) -> String {
+        if self.family.is_15d() {
+            return format!(
+                "{} p={} {} {} iters={}",
+                self.shape.name,
+                self.p,
+                self.family.label(),
+                self.batch,
+                self.iterations
+            );
+        }
         let overlap = match self.overlap {
             OverlapMode::Blocking => "blocking",
             OverlapMode::Overlapped => "overlapped",
@@ -644,6 +801,9 @@ impl AuditConfig {
     /// Extract this configuration's schedule (resolving the batch count
     /// first). `Err` means the planner would reject the configuration.
     pub fn extract(&self) -> crate::Result<Schedule> {
+        if self.family.is_15d() {
+            return trace_family15(self);
+        }
         let (prog, memory) = self.resolve()?;
         let mut sched = trace_program(&prog);
         sched.memory = memory;
@@ -1276,10 +1436,31 @@ pub fn sweep_grid(ps: &[usize]) -> Vec<AuditConfig> {
                                     exchange,
                                     overlap,
                                     iterations,
+                                    family: AlgorithmFamily::Summa3dBatched,
                                 });
                             }
                         }
                     }
+                }
+            }
+            // The 1.5D families: every valid replication factor for this
+            // world size, b=1 only (their stationary stripes cannot
+            // batch); exchange/overlap/l are SUMMA knobs and pinned.
+            for family in AlgorithmFamily::sweep(p) {
+                if !family.is_15d() {
+                    continue;
+                }
+                for iterations in [1usize, 4] {
+                    grid.push(AuditConfig {
+                        shape,
+                        p,
+                        l: 1,
+                        batch: BatchSpec::Forced(1),
+                        exchange: ExchangeMode::DenseBcast,
+                        overlap: OverlapMode::Blocking,
+                        iterations,
+                        family,
+                    });
                 }
             }
         }
@@ -1343,6 +1524,20 @@ mod tests {
             exchange: ExchangeMode::SparseFetch,
             overlap: OverlapMode::Overlapped,
             iterations: 2,
+            family: AlgorithmFamily::Summa3dBatched,
+        }
+    }
+
+    fn cfg_15d(p: usize, family: AlgorithmFamily, iterations: usize) -> AuditConfig {
+        AuditConfig {
+            shape: workload_shapes()[0],
+            p,
+            l: 1,
+            batch: BatchSpec::Forced(1),
+            exchange: ExchangeMode::DenseBcast,
+            overlap: OverlapMode::Blocking,
+            iterations,
+            family,
         }
     }
 
@@ -1359,6 +1554,7 @@ mod tests {
                         exchange,
                         overlap,
                         iterations: 2,
+                        family: AlgorithmFamily::Summa3dBatched,
                     };
                     let sched = cfg.extract().expect("feasible");
                     let violations = verify(&sched);
@@ -1438,6 +1634,7 @@ mod tests {
                             exchange: ExchangeMode::DenseBcast,
                             overlap: OverlapMode::Blocking,
                             iterations: 1,
+                            family: AlgorithmFamily::Summa3dBatched,
                         };
                         // Planner-rejected (Err) configurations are fine.
                         if let Ok(sched) = cfg.extract() {
@@ -1458,6 +1655,98 @@ mod tests {
         assert!(json.contains("\"violations\""));
         // Faulted sweep must report at least one violation.
         assert!(!report.violations().is_empty());
+    }
+
+    #[test]
+    fn family15_schedules_verify_clean() {
+        // Both 1.5D families, non-square world sizes included, across
+        // every valid replication factor and multi-iteration sessions.
+        for (p, family) in [
+            (12, AlgorithmFamily::ColA15 { c: 1 }),
+            (12, AlgorithmFamily::ColA15 { c: 3 }),
+            (16, AlgorithmFamily::ColA15 { c: 4 }),
+            (16, AlgorithmFamily::InnerAbc15 { c: 2 }),
+            (16, AlgorithmFamily::InnerAbc15 { c: 4 }),
+            (18, AlgorithmFamily::InnerAbc15 { c: 3 }),
+        ] {
+            for iterations in [1usize, 2] {
+                let cfg = cfg_15d(p, family, iterations);
+                let sched = cfg.extract().expect("valid 1.5D config");
+                assert_eq!(sched.traces.len(), p);
+                assert_eq!(sched.nbatches, 1);
+                let violations = verify(&sched);
+                assert!(violations.is_empty(), "{}: {violations:?}", cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn family15_rejects_batching() {
+        let cfg = AuditConfig {
+            batch: BatchSpec::Forced(2),
+            ..cfg_15d(16, AlgorithmFamily::ColA15 { c: 4 }, 1)
+        };
+        assert!(cfg.extract().is_err(), "b>1 must be planner-rejected");
+        let cfg = AuditConfig {
+            batch: BatchSpec::Budget { target: 4 },
+            ..cfg_15d(16, AlgorithmFamily::ColA15 { c: 4 }, 1)
+        };
+        assert!(cfg.extract().is_err(), "budget batching must be rejected");
+    }
+
+    #[test]
+    fn family15_invalid_repl_factor_is_planner_rejected() {
+        // p % c != 0 and c² ∤ p are config errors, not violations.
+        assert!(cfg_15d(12, AlgorithmFamily::ColA15 { c: 5 }, 1)
+            .extract()
+            .is_err());
+        assert!(cfg_15d(12, AlgorithmFamily::InnerAbc15 { c: 3 }, 1)
+            .extract()
+            .is_err());
+    }
+
+    #[test]
+    fn family15_wrong_shift_tag_is_caught() {
+        // Corrupt one shift send's tag: its receiver can never match, so
+        // the replay deadlocks or the send orphans.
+        let mut sched = cfg_15d(12, AlgorithmFamily::ColA15 { c: 3 }, 1)
+            .extract()
+            .unwrap();
+        let e = sched.traces[0]
+            .iter_mut()
+            .find_map(|e| match e {
+                AuditEvent::Send { tag, .. } => Some(tag),
+                _ => None,
+            })
+            .expect("ColA schedule has shift sends");
+        *e += 999;
+        let violations = verify(&sched);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v.kind,
+                AuditViolationKind::Deadlock | AuditViolationKind::OrphanedSend
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_both_15d_families() {
+        let grid = sweep_grid(&[16]);
+        let has = |needle: &str| grid.iter().any(|c| c.label().contains(needle));
+        assert!(has("cola(c=1)"), "sweep must include ColA c=1");
+        assert!(has("cola(c=4)"), "sweep must include ColA c=4");
+        assert!(has("innerabc(c=2)"), "sweep must include InnerABC c=2");
+        // And every 1.5D sweep point must verify clean.
+        for cfg in grid.iter().filter(|c| c.family.is_15d()) {
+            let res = audit_config(cfg, None);
+            assert!(
+                matches!(res.outcome, ConfigOutcome::Ok { .. }),
+                "{}: {:?}",
+                res.label,
+                res.outcome
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::backend::BackendKind;
 use crate::dist::{CPiece, DistMatrix};
 use crate::exchange::{ExchangeMode, ExchangePlan};
+use crate::family15::AlgorithmFamily;
 use crate::kernels::{KernelStrategy, LocalKernels};
 use crate::memory::{MemTracker, MemoryBudget};
 use crate::summa2d::{MergeSchedule, NextStage, OverlapMode, StagePending};
@@ -69,6 +70,10 @@ pub struct BatchConfig {
     /// modeled (`Simgrid`, default) or real multithreaded with measured
     /// wall-clock times (`Native`); see [`crate::backend`].
     pub backend: BackendKind,
+    /// Algorithm family. The batched pipeline executes the SUMMA members
+    /// only; the 1.5D families ([`crate::family15`]) never batch and are
+    /// rejected here — route them through `run_spmm`/`run_spgemm`.
+    pub algorithm: AlgorithmFamily,
 }
 
 impl Default for BatchConfig {
@@ -82,6 +87,7 @@ impl Default for BatchConfig {
             overlap: OverlapMode::Blocking,
             exchange: ExchangeMode::DenseBcast,
             backend: BackendKind::Simgrid,
+            algorithm: AlgorithmFamily::Summa3dBatched,
         }
     }
 }
@@ -271,6 +277,13 @@ pub fn batched_summa3d_with<S: Semiring>(
     mut on_batch: impl FnMut(&mut Rank, BatchOutput<S::T>) -> Option<CPiece<S::T>>,
 ) -> Result<BatchedResult<S::T>> {
     let r = cfg.budget.r;
+    if cfg.algorithm.is_15d() {
+        return Err(CoreError::Config(format!(
+            "the batched SUMMA pipeline cannot run the 1.5D family {}; \
+             use run_spmm/run_spgemm, which route 1.5D to the family driver",
+            cfg.algorithm.label()
+        )));
+    }
     if plan.mode() != cfg.exchange {
         return Err(CoreError::Config(format!(
             "exchange plan mode '{}' disagrees with cfg.exchange '{}'",

@@ -8,6 +8,7 @@
 use crate::backend::BackendKind;
 use crate::batched::{batched_summa3d, BatchConfig, BatchingStrategy};
 use crate::exchange::ExchangeMode;
+use crate::family15::{spmm_15d, AlgorithmFamily};
 use crate::summa2d::{MergeSchedule, OverlapMode};
 use crate::dist::{gather_pieces, scatter, transpose_to_bstyle, DistKind};
 use crate::kernels::KernelStrategy;
@@ -20,7 +21,7 @@ use spgemm_simgrid::{
     max_breakdown, run_ranks_checked, run_ranks_seeded, CheckMode, Grid3D, Machine, StepBreakdown,
 };
 use spgemm_sparse::par::RangeBalance;
-use spgemm_sparse::{CscMatrix, Semiring, WorkStats};
+use spgemm_sparse::{CscMatrix, DenseBlock, Semiring, WorkStats};
 use std::sync::Arc;
 
 /// How the grid layer count `l` is chosen.
@@ -82,6 +83,12 @@ pub struct RunConfig {
     /// be bit-identical under any seed. Defaults to the
     /// `SPGEMM_PERTURB_SEED` environment variable (none if unset).
     pub perturb: Option<u64>,
+    /// Which algorithm family runs the multiply. The SUMMA families use
+    /// the batched 3D pipeline (`Summa2d` pins `l = 1`); the 1.5D
+    /// families ([`AlgorithmFamily::ColA15`] /
+    /// [`AlgorithmFamily::InnerAbc15`]) run the sparse-dense SpMM drivers
+    /// of [`crate::family15`] (a sparse `B` is densified first).
+    pub algorithm: AlgorithmFamily,
     /// Job id label for multi-tenant packing ([`crate::serve`]): when set,
     /// the simulated rank threads are named `job-J-rank-I` and failure
     /// reports lead with the job id, so concurrent worlds in one server
@@ -108,6 +115,7 @@ impl RunConfig {
             exchange: ExchangeMode::DenseBcast,
             check: CheckMode::default_mode(),
             backend: BackendKind::default_kind(),
+            algorithm: AlgorithmFamily::Summa3dBatched,
             perturb: None,
             job: None,
         }
@@ -131,6 +139,18 @@ fn resolve_layers<T: Copy, U: Copy>(
     a: &CscMatrix<T>,
     b: &CscMatrix<U>,
 ) -> Result<(usize, Option<PlanReport>)> {
+    if cfg.algorithm == AlgorithmFamily::Summa2d {
+        // 2D SUMMA is the 3D pipeline pinned to one layer.
+        if let LayerChoice::Fixed(l) = cfg.layers {
+            if l != 1 {
+                return Err(CoreError::Config(format!(
+                    "algorithm summa2d pins l=1 but l={l} was fixed"
+                )));
+            }
+        }
+        validate_grid(cfg.p, 1)?;
+        return Ok((1, None));
+    }
     match cfg.layers {
         LayerChoice::Fixed(l) => {
             validate_grid(cfg.p, l)?;
@@ -235,6 +255,32 @@ pub fn run_spgemm<S: Semiring>(
             b.ncols()
         )));
     }
+    if cfg.algorithm.is_15d() {
+        // The 1.5D families are sparse-dense algorithms: an honestly
+        // densified B (zero-filled, `d = ncols(B)` stripes) runs through
+        // the SpMM drivers and the product is re-sparsified. This is the
+        // right call exactly when B is dense-ish — the planner's family
+        // dimension prices the densification in.
+        let bd = DenseBlock::from_csc::<S>(b);
+        let out = run_spmm::<S>(cfg, a, &bd)?;
+        return Ok(RunOutput {
+            c: if cfg.discard_output {
+                None
+            } else {
+                out.c.as_ref().map(|d| d.to_csc::<S>())
+            },
+            per_rank: out.per_rank,
+            max: out.max,
+            nbatches: 1,
+            layers: 1,
+            plan: out.plan,
+            symbolic: None,
+            peak_bytes: out.peak_bytes,
+            traces: out.traces,
+            kernel_stats: out.kernel_stats,
+            load_balance: RangeBalance::default(),
+        });
+    }
     let (layers, plan) = resolve_layers(cfg, a, b)?;
     let a_arc = Arc::new(a.clone());
     let b_arc = Arc::new(b.clone());
@@ -267,6 +313,7 @@ pub fn run_spgemm<S: Semiring>(
             overlap: cfg_copy.overlap,
             exchange: cfg_copy.exchange,
             backend: cfg_copy.backend,
+            algorithm: cfg_copy.algorithm,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {
@@ -294,6 +341,157 @@ pub fn run_spgemm<S: Semiring>(
     });
 
     collect_outputs(cfg, layers, plan, results)
+}
+
+/// Everything a simulated sparse-dense (SpMM) run reports.
+#[derive(Debug)]
+pub struct SpmmOutput<T: Copy> {
+    /// The assembled dense `m × d` product on the simulated root, unless
+    /// `discard_output` was set.
+    pub c: Option<DenseBlock<T>>,
+    /// Per-rank modeled step breakdowns, rank order.
+    pub per_rank: Vec<StepBreakdown>,
+    /// Critical-path (max over ranks) breakdown.
+    pub max: StepBreakdown,
+    /// The family that ran.
+    pub algorithm: AlgorithmFamily,
+    /// Per-rank peak modeled bytes (includes the replicated `A` blocks).
+    pub peak_bytes: Vec<usize>,
+    /// Kernel counters aggregated over all ranks.
+    pub kernel_stats: WorkStats,
+    /// The planner's ranked report when one was consulted; `None` for
+    /// directly pinned families.
+    pub plan: Option<PlanReport>,
+    /// Per-rank step timelines when `RunConfig::trace` was set.
+    pub traces: Option<Vec<Vec<spgemm_simgrid::TraceEvent>>>,
+}
+
+/// Multiply sparse `a` by **dense** `b` on a simulated `p`-rank cluster.
+///
+/// The 1.5D families run their native SpMM drivers
+/// ([`crate::family15::spmm_15d`]); the SUMMA families sparsify `b`
+/// (dropping semiring zeros), run the standard pipeline, and densify the
+/// product — so every family answers the same question and the outputs
+/// are comparable bit-for-bit under exact semirings.
+///
+/// The 1.5D path needs no batching: `C` is born column-striped across
+/// ranks and stationary, which is the memory-minimal layout the batched
+/// pipeline works to approximate. The memory budget is still enforced —
+/// a rank whose resident set (replicated `A` block, in-flight shift
+/// buffer, dense stripes, reduction buffers) exceeds the per-process
+/// budget fails admission with [`CoreError::InputsExceedMemory`].
+pub fn run_spmm<S: Semiring>(
+    cfg: &RunConfig,
+    a: &CscMatrix<S::T>,
+    b: &DenseBlock<S::T>,
+) -> Result<SpmmOutput<S::T>> {
+    if a.ncols() != b.nrows() {
+        return Err(CoreError::Config(format!(
+            "inner dimensions differ: A is {}x{}, dense B is {}x{}",
+            a.nrows(),
+            a.ncols(),
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+    if !cfg.algorithm.is_15d() {
+        // SUMMA families: sparsify B, run the standard pipeline, densify C.
+        let bs = b.to_csc::<S>();
+        let out = run_spgemm::<S>(cfg, a, &bs)?;
+        return Ok(SpmmOutput {
+            c: out.c.as_ref().map(|c| {
+                let mut d = DenseBlock::new_fill(a.nrows(), b.ncols(), S::zero());
+                for (i, j, v) in c.iter() {
+                    d.set(i as usize, j, v);
+                }
+                d
+            }),
+            per_rank: out.per_rank,
+            max: out.max,
+            algorithm: cfg.algorithm,
+            peak_bytes: out.peak_bytes,
+            kernel_stats: out.kernel_stats,
+            plan: out.plan,
+            traces: out.traces,
+        });
+    }
+    cfg.algorithm.validate(cfg.p)?;
+    let a_arc = Arc::new(a.clone());
+    let b_arc = Arc::new(b.clone());
+    let cfg_copy = *cfg;
+
+    struct SpmmPerRank<T: Copy> {
+        breakdown: StepBreakdown,
+        peak: usize,
+        c: Option<DenseBlock<T>>,
+        kernel_stats: WorkStats,
+        events: Option<Vec<spgemm_simgrid::TraceEvent>>,
+    }
+
+    let results: Vec<Result<SpmmPerRank<S::T>>> = run_cluster(cfg, move |rank| {
+        if cfg_copy.trace {
+            rank.clock_mut().enable_tracing();
+        }
+        let backend = cfg_copy.backend.to_backend();
+        let out = spmm_15d::<S>(
+            rank,
+            cfg_copy.algorithm,
+            (rank.rank() == 0).then(|| Arc::clone(&a_arc)),
+            (rank.rank() == 0).then(|| Arc::clone(&b_arc)),
+            &*backend,
+            cfg_copy.discard_output,
+        )?;
+        Ok(SpmmPerRank {
+            breakdown: *rank.clock().breakdown(),
+            peak: out.peak_bytes,
+            c: out.gathered,
+            kernel_stats: out.kernel_stats,
+            events: rank.clock().events().map(|e| e.to_vec()),
+        })
+    });
+
+    let mut per_rank = Vec::with_capacity(cfg.p);
+    let mut peaks = Vec::with_capacity(cfg.p);
+    let mut c = None;
+    let mut kernel_stats = WorkStats::default();
+    let mut traces = cfg.trace.then(Vec::new);
+    for (i, r) in results.into_iter().enumerate() {
+        let r = r?;
+        per_rank.push(r.breakdown);
+        peaks.push(r.peak);
+        kernel_stats.merge(r.kernel_stats);
+        if i == 0 {
+            c = r.c;
+        }
+        if let (Some(ts), Some(ev)) = (traces.as_mut(), r.events) {
+            ts.push(ev);
+        }
+    }
+    if !cfg.budget.is_unlimited() {
+        let per_proc = cfg.budget.per_process(cfg.p);
+        if let Some((rank_id, &peak)) =
+            per_rank.iter().enumerate().map(|(i, _)| (i, &peaks[i])).max_by_key(|&(_, &pk)| pk)
+        {
+            if peak > per_proc {
+                let _ = rank_id;
+                return Err(CoreError::InputsExceedMemory {
+                    needed_bytes: peak,
+                    budget_bytes: per_proc,
+                });
+            }
+        }
+    }
+    let max = max_breakdown(&per_rank);
+    Ok(SpmmOutput {
+        c,
+        per_rank,
+        max,
+        algorithm: cfg.algorithm,
+        peak_bytes: peaks,
+        kernel_stats,
+        plan: None,
+        traces,
+    })
 }
 
 /// Compute `A·Aᵀ` on the simulated cluster: `A` is scattered once and
@@ -338,6 +536,7 @@ pub fn run_spgemm_aat<S: Semiring>(
             overlap: cfg_copy.overlap,
             exchange: cfg_copy.exchange,
             backend: cfg_copy.backend,
+            algorithm: cfg_copy.algorithm,
         };
         let discard = cfg_copy.discard_output;
         let result = batched_summa3d::<S>(rank, &grid, &da, &db, &bcfg, |_rank, out| {

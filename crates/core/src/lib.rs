@@ -40,6 +40,7 @@ pub mod backend;
 pub mod batched;
 pub mod dist;
 pub mod exchange;
+pub mod family15;
 pub mod harness;
 pub mod kernels;
 pub mod memory;
@@ -59,8 +60,10 @@ pub use backend::{Backend, BackendKind, NativeBackend, SimgridBackend};
 pub use batched::{batched_summa3d, BatchDisposition, BatchOutput, BatchedResult};
 pub use dist::{transpose_to_bstyle, CPiece, DistKind, DistMatrix};
 pub use exchange::{ExchangeMode, ExchangePlan, FetchCacheStats};
+pub use family15::AlgorithmFamily;
 pub use harness::{
-    run_spgemm, run_spgemm_aat, run_spgemm_row_batched, LayerChoice, RunConfig, RunOutput,
+    run_spgemm, run_spgemm_aat, run_spgemm_row_batched, run_spmm, LayerChoice, RunConfig,
+    RunOutput, SpmmOutput,
 };
 pub use kernels::{KernelStrategy, LocalKernels};
 pub use memory::{MemTracker, MemoryBudget, R_BYTES_PER_NNZ};

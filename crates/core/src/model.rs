@@ -44,6 +44,37 @@ pub fn validate_grid(p: usize, l: usize) -> crate::Result<usize> {
     })
 }
 
+/// Validate that replication factor `c` forms a 1.5D layout over `p`
+/// processes; returns the ring length `t = p/c` on success.
+///
+/// Mirrors [`validate_grid`]: the 1.5D ring math truncates silently when
+/// `c ∤ p` and degenerates when `c > p` or `c = 0`, so every entry point
+/// that accepts `(p, c)` funnels through this check and reports the
+/// offending pair.
+pub fn validate_repl(p: usize, c: usize) -> crate::Result<usize> {
+    if p == 0 {
+        return Err(CoreError::Config("process count p=0 is not a grid".into()));
+    }
+    if c == 0 {
+        return Err(CoreError::Config(format!(
+            "invalid 1.5D replication (p={p}, c=0): the replication factor must be at least 1"
+        )));
+    }
+    if c > p {
+        return Err(CoreError::Config(format!(
+            "invalid 1.5D replication (p={p}, c={c}): the replication factor cannot exceed the \
+             process count"
+        )));
+    }
+    if !p.is_multiple_of(c) {
+        return Err(CoreError::Config(format!(
+            "invalid 1.5D replication (p={p}, c={c}): the replication factor must divide the \
+             process count"
+        )));
+    }
+    Ok(p / c)
+}
+
 /// Problem and grid parameters for the closed-form model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProblemModel {

@@ -34,13 +34,15 @@ pub mod sketch;
 pub use calibrate::{calibrate, CalibrationInput, MachineProfile};
 pub use candidate::{enumerate_candidates, Candidate};
 pub use predict::{
-    grid_shape, occ, BindingConstraint, CandidatePrediction, GridShape, PredictedSteps,
+    family15_block_nnz, grid_shape, occ, BindingConstraint, CandidatePrediction, GridShape,
+    PredictedSteps,
 };
 pub use probe::{probe, ProbeConfig, ProbeEstimate};
 pub use report::PlanReport;
 pub use sketch::StructuralSketch;
 
 use crate::exchange::ExchangeMode;
+use crate::family15::AlgorithmFamily;
 use crate::harness::RunConfig;
 use crate::kernels::KernelStrategy;
 use crate::memory::MemoryBudget;
@@ -67,6 +69,10 @@ pub struct PlannerConfig {
     pub overlaps: Vec<OverlapMode>,
     /// Exchange modes to consider for the A operand.
     pub exchanges: Vec<ExchangeMode>,
+    /// Algorithm families to consider. Defaults to `Summa3dBatched` only
+    /// (the historical search space); `AlgorithmFamily::sweep(p)` opens
+    /// the full cross-family comparison including the 1.5D members.
+    pub families: Vec<AlgorithmFamily>,
     /// Charge the Symbolic3D pass a real run would perform (disable when
     /// comparing against sweeps that force the batch count).
     pub include_symbolic: bool,
@@ -89,6 +95,7 @@ impl PlannerConfig {
             kernels: vec![KernelStrategy::New, KernelStrategy::Previous],
             overlaps: vec![OverlapMode::Blocking, OverlapMode::Overlapped],
             exchanges: vec![ExchangeMode::DenseBcast, ExchangeMode::SparseFetch],
+            families: vec![AlgorithmFamily::Summa3dBatched],
             include_symbolic: true,
             iterations: 1,
         }
@@ -106,6 +113,7 @@ impl PlannerConfig {
             kernels: vec![cfg.kernels],
             overlaps: vec![cfg.overlap],
             exchanges: vec![cfg.exchange],
+            families: vec![cfg.algorithm],
             include_symbolic: cfg.forced_batches.is_none(),
             iterations: 1,
         }
@@ -158,30 +166,49 @@ pub fn plan_with_probe<T: Copy, U: Copy>(
         &cfg.kernels,
         &cfg.overlaps,
         &cfg.exchanges,
+        &cfg.families,
     )?;
 
-    // One exact placement scan per distinct layer count.
+    // One exact placement scan per distinct layer count (SUMMA families;
+    // 1.5D candidates have no square grid and take the block profile
+    // below instead).
     let mut shapes: Vec<(usize, GridShape)> = Vec::new();
     for c in &candidates {
-        if !shapes.iter().any(|(l, _)| *l == c.layers) {
+        if !c.family.is_15d() && !shapes.iter().any(|(l, _)| *l == c.layers) {
             let side = validate_grid(p, c.layers)?;
             shapes.push((c.layers, grid_shape(a, b, side, c.layers)));
+        }
+    }
+    // One per-inner-block A profile per distinct 1.5D block count t = p/c.
+    let mut profiles: Vec<(usize, Vec<u64>)> = Vec::new();
+    for c in &candidates {
+        if c.family.is_15d() {
+            let t = p / c.family.repl_factor();
+            if !profiles.iter().any(|(pt, _)| *pt == t) {
+                profiles.push((t, family15_block_nnz(a, t)));
+            }
         }
     }
     let mut ranked: Vec<CandidatePrediction> = candidates
         .iter()
         .map(|&c| {
-            let shape = &shapes.iter().find(|(l, _)| *l == c.layers).unwrap().1;
-            predict::predict_candidate(
-                p,
-                shape,
-                est,
-                &cfg.machine,
-                &cfg.budget,
-                cfg.include_symbolic,
-                cfg.iterations,
-                c,
-            )
+            if c.family.is_15d() {
+                let t = p / c.family.repl_factor();
+                let blocks = &profiles.iter().find(|(pt, _)| *pt == t).unwrap().1;
+                predict::predict_family15(p, blocks, est, &cfg.machine, &cfg.budget, c)
+            } else {
+                let shape = &shapes.iter().find(|(l, _)| *l == c.layers).unwrap().1;
+                predict::predict_candidate(
+                    p,
+                    shape,
+                    est,
+                    &cfg.machine,
+                    &cfg.budget,
+                    cfg.include_symbolic,
+                    cfg.iterations,
+                    c,
+                )
+            }
         })
         .collect();
     // Feasible first, ascending predicted makespan; infeasible last.

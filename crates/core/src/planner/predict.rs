@@ -26,12 +26,13 @@
 use super::candidate::Candidate;
 use super::probe::ProbeEstimate;
 use crate::exchange::ExchangeMode;
+use crate::family15::AlgorithmFamily;
 use crate::kernels::KernelStrategy;
-use crate::memory::MemoryBudget;
+use crate::memory::{MemoryBudget, R_BYTES_PER_NNZ};
 use crate::summa2d::OverlapMode;
 use spgemm_simgrid::Machine;
 use spgemm_sparse::spgemm::{
-    C_DRAIN, C_HASH_FLOP, C_HEAP_FLOP, C_MERGE_HASH, C_MERGE_HEAP, C_SORT,
+    C_DRAIN, C_HASH_FLOP, C_HEAP_FLOP, C_MERGE_HASH, C_MERGE_HEAP, C_SORT, C_SPMM_FLOP,
 };
 use spgemm_sparse::CscMatrix;
 
@@ -222,6 +223,10 @@ pub struct PredictedSteps {
     pub alltoall_fiber: f64,
     /// Merge-Fiber.
     pub merge_fiber: f64,
+    /// 1.5D A-block ring shifts (zero for the SUMMA families).
+    pub ashift: f64,
+    /// 1.5D InnerABC partial-`C` allgather (zero elsewhere).
+    pub creduce: f64,
 }
 
 impl PredictedSteps {
@@ -236,6 +241,8 @@ impl PredictedSteps {
             + self.merge_layer
             + self.alltoall_fiber
             + self.merge_fiber
+            + self.ashift
+            + self.creduce
     }
 }
 
@@ -594,6 +601,8 @@ pub fn predict_candidate(
         merge_layer: t_ml,
         alltoall_fiber: a2a_lat + a2a_bw,
         merge_fiber: t_mf,
+        ashift: 0.0,
+        creduce: 0.0,
     };
 
     // Overlapped mode: every stage's broadcast after the first hides under
@@ -649,6 +658,168 @@ pub fn predict_candidate(
         peak_bytes_per_proc,
         input_bytes_per_proc: input_bytes,
         unmerged_bytes_per_proc,
+        note: String::new(),
+    }
+}
+
+/// Per-inner-block nonzero profile of `A` for a 1.5D family with `t`
+/// column blocks over the inner dimension — the exact placement scan
+/// [`predict_family15`] charges shift traffic from (the 1.5D analogue of
+/// [`grid_shape`]).
+pub fn family15_block_nnz<T: Copy>(a: &CscMatrix<T>, t: usize) -> Vec<u64> {
+    let mut nnz = vec![0u64; t.max(1)];
+    for j in 0..a.ncols() {
+        nnz[block_index(a.ncols(), t.max(1), j)] += a.col(j).0.len() as u64;
+    }
+    nnz
+}
+
+/// Evaluate one 1.5D candidate (`ColA15` / `InnerAbc15`) against the
+/// machine and budget — the family-layer counterpart of
+/// [`predict_candidate`].
+///
+/// The model mirrors the `family15::spmm_15d` driver's accounting move
+/// for move. `B` is dense (or densified) at 8 bytes per entry; `A` blocks
+/// travel the ring at [`R_BYTES_PER_NNZ`] bytes per nonzero, one
+/// `α + β·bytes` message per shift round; InnerABC's partial-`C`
+/// reduction is an allgather over the `c`-member team plus a
+/// member-order fold at [`C_SPMM_FLOP`] work units per add. There is no
+/// batching: the replicated stationary operands either fit the
+/// per-process budget or the candidate is infeasible outright — the
+/// Eq. 2-style replication-memory penalty that lets batched SUMMA win
+/// back memory-constrained sparse-sparse workloads.
+///
+/// `block_nnz` is [`family15_block_nnz`] at this family's `t = p/c`.
+pub fn predict_family15(
+    p: usize,
+    block_nnz: &[u64],
+    est: &ProbeEstimate,
+    machine: &Machine,
+    budget: &MemoryBudget,
+    candidate: Candidate,
+) -> CandidatePrediction {
+    let fam = candidate.family;
+    let c = fam.repl_factor();
+    let t = p / c;
+    debug_assert!(fam.is_15d());
+    debug_assert_eq!(block_nnz.len(), t.max(1));
+    let (m, n_inner, d) = (est.nrows_a, est.nrows_b, est.total_cols);
+    const ELEM: usize = 8; // modeled dense element size (f64-class scalar)
+
+    // ---- Stationary layout (widest stripe ~ ceil over the fat blocks) --
+    let stripe_parts = match fam {
+        AlgorithmFamily::ColA15 { .. } => p,
+        _ => t,
+    };
+    let w = if d == 0 { 0 } else { d.div_ceil(stripe_parts) };
+    let b_stripe_bytes = ELEM * n_inner * w;
+    let c_stripe_bytes = ELEM * m * w;
+    let dense_bytes = b_stripe_bytes + c_stripe_bytes;
+
+    // ---- Replication memory (driver's peak_bytes, exactly) ------------
+    let max_block = block_nnz.iter().copied().max().unwrap_or(0) as usize;
+    let rounds = match fam {
+        AlgorithmFamily::ColA15 { .. } => t,
+        _ => t / c,
+    };
+    let a_resident = if rounds > 1 { 2 } else { 1 } * R_BYTES_PER_NNZ * max_block;
+    let mut peak = a_resident + dense_bytes;
+    if matches!(fam, AlgorithmFamily::InnerAbc15 { .. }) && c > 1 {
+        peak = peak.max(dense_bytes + c * c_stripe_bytes);
+    }
+    let per_proc = budget.per_process(p);
+    if per_proc <= peak {
+        return infeasible(
+            candidate,
+            BindingConstraint::InputsTooLarge,
+            0,
+            format!(
+                "stationary 1.5D operands (c={c}, dense stripes + replicated A blocks) need \
+                 {peak} bytes/process but the budget allows {per_proc}; the family cannot batch"
+            ),
+        );
+    }
+
+    // ---- A-Shift: each rank forwards every ring block but its last ----
+    // The critical rank's bytes are its ring's total minus the lightest
+    // block (the one a rank can end holding without ever sending it).
+    let (shift_rounds, shift_nnz): (usize, u64) = match fam {
+        AlgorithmFamily::ColA15 { .. } if t > 1 => {
+            let total: u64 = block_nnz.iter().sum();
+            (t - 1, total - block_nnz.iter().copied().min().unwrap_or(0))
+        }
+        AlgorithmFamily::InnerAbc15 { .. } if t / c > 1 => {
+            // Layer ℓ's sub-rings rotate the blocks {k : k ≡ ℓ (mod c)};
+            // the heaviest layer is the critical path.
+            let worst = (0..c)
+                .map(|layer| {
+                    let ring: Vec<u64> = (layer..t).step_by(c).map(|k| block_nnz[k]).collect();
+                    ring.iter().sum::<u64>() - ring.iter().copied().min().unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0);
+            (t / c - 1, worst)
+        }
+        _ => (0, 0),
+    };
+    let ashift_lat = shift_rounds as f64 * machine.alpha;
+    let ashift_bw = machine.beta * (shift_nnz as usize * R_BYTES_PER_NNZ) as f64;
+
+    // ---- C-Reduce (InnerABC, c > 1): allgather + member-order fold ----
+    let (creduce_lat, creduce_bw, fold_work) =
+        if matches!(fam, AlgorithmFamily::InnerAbc15 { .. }) && c > 1 {
+            let lg_c = (c as f64).log2().ceil();
+            (
+                machine.alpha * lg_c,
+                machine.beta * (c_stripe_bytes * (c - 1)) as f64,
+                ((c - 1) * m * w) as f64 * C_SPMM_FLOP,
+            )
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+
+    // ---- Compute: the SpMM does exactly the sparse flops (zero entries
+    // of the densified B are skipped), at the dense-accumulator rate. ----
+    // Stripe imbalance from the probe's per-column flops.
+    let mut per_stripe = vec![0.0f64; stripe_parts.max(1)];
+    for (idx, &gj) in est.cols.iter().enumerate() {
+        if d > 0 {
+            per_stripe[block_index(d, stripe_parts.max(1), gj)] += est.col_flops[idx] as f64;
+        }
+    }
+    let stripe_sum: f64 = per_stripe.iter().sum();
+    let gamma = if stripe_sum > 0.0 {
+        (per_stripe.iter().copied().fold(0.0, f64::max) * stripe_parts as f64 / stripe_sum)
+            .clamp(1.0, 3.0)
+    } else {
+        1.0
+    };
+    let t_mult = machine.compute_secs(est.flops as f64 * C_SPMM_FLOP * gamma / p as f64);
+    let t_fold = machine.compute_secs(fold_work);
+
+    let steps = PredictedSteps {
+        multiply: t_mult,
+        merge_fiber: t_fold, // the fold is charged to Merge-Fiber, like the driver
+        ashift: ashift_lat + ashift_bw,
+        creduce: creduce_lat + creduce_bw,
+        ..PredictedSteps::default()
+    };
+
+    CandidatePrediction {
+        candidate,
+        batches: 1,
+        eq2_bound: 1,
+        constraint: BindingConstraint::SingleBatch,
+        steps,
+        latency_s: ashift_lat + creduce_lat,
+        bandwidth_s: ashift_bw + creduce_bw,
+        compute_s: t_mult + t_fold,
+        hidden_s: 0.0,
+        one_time_s: 0.0,
+        total_s: steps.sum(),
+        peak_bytes_per_proc: peak,
+        input_bytes_per_proc: peak,
+        unmerged_bytes_per_proc: 0,
         note: String::new(),
     }
 }

@@ -124,6 +124,9 @@ impl PlanReport {
         }
         let delta = loser.total_s - winner.total_s;
         // Attribute the loss to the component with the largest deficit.
+        // The 1.5D steps get their own entries so a cross-family table
+        // says *which leg* of the losing family's schedule lost, not just
+        // "bandwidth".
         let parts = [
             ("latency", loser.latency_s - winner.latency_s),
             ("bandwidth", loser.bandwidth_s - winner.bandwidth_s),
@@ -136,6 +139,11 @@ impl PlanReport {
                 "symbolic",
                 (loser.steps.symbolic_comm + loser.steps.symbolic_comp)
                     - (winner.steps.symbolic_comm + winner.steps.symbolic_comp),
+            ),
+            ("A-shift traffic", loser.steps.ashift - winner.steps.ashift),
+            (
+                "partial-C reduction",
+                loser.steps.creduce - winner.steps.creduce,
             ),
         ];
         let (why, _) = parts
@@ -165,12 +173,14 @@ mod tests {
     use super::super::predict::{BindingConstraint, CandidatePrediction, PredictedSteps};
     use super::*;
     use crate::exchange::ExchangeMode;
+    use crate::family15::AlgorithmFamily;
     use crate::kernels::KernelStrategy;
     use crate::summa2d::OverlapMode;
 
     fn pred(l: usize, total: f64, constraint: BindingConstraint) -> CandidatePrediction {
         CandidatePrediction {
             candidate: Candidate {
+                family: AlgorithmFamily::Summa3dBatched,
                 layers: l,
                 kernels: KernelStrategy::New,
                 overlap: OverlapMode::Blocking,

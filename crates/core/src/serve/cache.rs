@@ -190,12 +190,14 @@ impl PlanCache {
 mod tests {
     use super::*;
     use crate::exchange::ExchangeMode;
+    use crate::family15::AlgorithmFamily;
     use crate::kernels::KernelStrategy;
     use crate::summa2d::OverlapMode;
 
     fn plan_for(sketch_hash: u64) -> CachedPlan {
         CachedPlan {
             candidate: Candidate {
+                family: AlgorithmFamily::Summa3dBatched,
                 layers: 1,
                 kernels: KernelStrategy::New,
                 overlap: OverlapMode::Blocking,

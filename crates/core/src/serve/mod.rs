@@ -42,4 +42,4 @@ pub use job::{
     PlanSource, Priority, RejectReason,
 };
 pub use loadgen::{run_loadgen, ArrivalProcess, LoadgenConfig, LoadgenReport};
-pub use server::{JobServer, JobTicket, ServerConfig, ServerStats};
+pub use server::{FamilyPolicy, JobServer, JobTicket, ServerConfig, ServerStats};

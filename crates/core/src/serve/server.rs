@@ -45,6 +45,7 @@ use super::job::{
     PlanSource, Priority, RejectReason,
 };
 use crate::backend::BackendKind;
+use crate::family15::AlgorithmFamily;
 use crate::harness::{run_spgemm, RunConfig, RunOutput};
 use crate::planner::{self, Candidate, PlannerConfig, ProbeConfig, StructuralSketch};
 use spgemm_simgrid::{CheckMode, Machine, StepBreakdown};
@@ -57,6 +58,33 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the per-job planner chooses the algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyPolicy {
+    /// Every job is planned within one fixed family (the historical
+    /// behaviour is `Fixed(Summa3dBatched)`, the default).
+    Fixed(AlgorithmFamily),
+    /// Sweep every family valid at the job's `p` (including every
+    /// replication factor `c`) and run the predicted winner.
+    Sweep,
+}
+
+impl Default for FamilyPolicy {
+    fn default() -> Self {
+        FamilyPolicy::Fixed(AlgorithmFamily::Summa3dBatched)
+    }
+}
+
+impl FamilyPolicy {
+    /// The family list handed to the planner for a job on `p` processes.
+    pub fn families_for(self, p: usize) -> Vec<AlgorithmFamily> {
+        match self {
+            FamilyPolicy::Fixed(f) => vec![f],
+            FamilyPolicy::Sweep => AlgorithmFamily::sweep(p),
+        }
+    }
+}
 
 /// Server-wide policy: the global budget and the execution substrate.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +110,8 @@ pub struct ServerConfig {
     /// Probe sampling parameters (part of every sketch, so changing them
     /// naturally partitions the plan cache).
     pub probe: ProbeConfig,
+    /// Algorithm families the per-job planner considers.
+    pub families: FamilyPolicy,
 }
 
 impl ServerConfig {
@@ -97,6 +127,7 @@ impl ServerConfig {
             check: CheckMode::default_mode(),
             shrink: true,
             probe: ProbeConfig::default(),
+            families: FamilyPolicy::default(),
         }
     }
 }
@@ -393,6 +424,7 @@ fn execute(item: &WorkItem) -> Result<RunOutput<f64>, String> {
     rc.kernels = item.candidate.kernels;
     rc.overlap = item.candidate.overlap;
     rc.exchange = item.candidate.exchange;
+    rc.algorithm = item.candidate.family;
     rc.budget = item.budget;
     rc.forced_batches = Some(item.batches);
     rc.discard_output = !item.keep_output;
@@ -605,6 +637,7 @@ impl Scheduler {
 
         let mut pcfg = PlannerConfig::new(self.cfg.machine, spec.budget);
         pcfg.probe = self.cfg.probe;
+        pcfg.families = self.cfg.families.families_for(spec.p);
         let report = planner::plan_with_probe(spec.p, &*a, &*b, &pcfg, &est)
             .map_err(|e| RejectReason::PlanInfeasible(e.to_string()))?;
         let winner = report.winner().ok_or_else(|| {

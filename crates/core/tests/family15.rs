@@ -1,0 +1,276 @@
+//! Cross-family conformance: the 1.5D ColA/InnerABC SpMM drivers must
+//! produce output bit-identical to 2D SUMMA for the same sparse-dense
+//! product, across semirings, replication factors, and backends.
+//!
+//! Exactness discipline: comparisons use semirings whose arithmetic is
+//! order-independent at the tested values — `u64`/small-integer-`f64`
+//! plus-times (exact adds) and idempotent min-plus — so "bit-identical"
+//! is well-defined even though the families accumulate in different
+//! orders. `SPGEMM_CHECK=1` in CI turns on the collective-protocol
+//! checker, vetting the new ring/team communicators.
+
+use spgemm_core::{run_spgemm, run_spmm, AlgorithmFamily, BackendKind, CoreError, RunConfig};
+use spgemm_sparse::gen::er_random;
+use spgemm_sparse::semiring::{MinPlusF64, PlusTimesF64, PlusTimesU64};
+use spgemm_sparse::DenseBlock;
+
+fn small_int_dense(nrows: usize, ncols: usize, seed: u64) -> DenseBlock<f64> {
+    DenseBlock::from_fn(nrows, ncols, |i, j| {
+        ((i * 31 + j * 17 + seed as usize) % 7) as f64 + 1.0
+    })
+}
+
+fn cfg_for(p: usize, family: AlgorithmFamily, backend: BackendKind) -> RunConfig {
+    let mut cfg = RunConfig::new(p, 1);
+    cfg.algorithm = family;
+    cfg.backend = backend;
+    cfg
+}
+
+/// All 1.5D members valid at `p = 16` that the suite sweeps.
+fn families_under_test() -> Vec<AlgorithmFamily> {
+    vec![
+        AlgorithmFamily::ColA15 { c: 1 },
+        AlgorithmFamily::ColA15 { c: 2 },
+        AlgorithmFamily::ColA15 { c: 4 },
+        AlgorithmFamily::InnerAbc15 { c: 1 },
+        AlgorithmFamily::InnerAbc15 { c: 2 },
+        AlgorithmFamily::InnerAbc15 { c: 4 },
+    ]
+}
+
+#[test]
+fn families_match_summa2d_u64_exact() {
+    let p = 16;
+    let a = er_random::<PlusTimesU64>(37, 29, 4, 901).map(|_| 3u64);
+    let b = DenseBlock::from_fn(29, 11, |i, j| ((i * 13 + j * 7) % 5) as u64);
+    let reference = run_spmm::<PlusTimesU64>(
+        &cfg_for(p, AlgorithmFamily::Summa2d, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    for family in families_under_test() {
+        for backend in [BackendKind::Simgrid, BackendKind::Native { threads: 2 }] {
+            let out =
+                run_spmm::<PlusTimesU64>(&cfg_for(p, family, backend), &a, &b).unwrap();
+            assert_eq!(out.algorithm, family);
+            assert_eq!(
+                out.c.as_ref().unwrap(),
+                &reference,
+                "{} on {} disagrees with summa2d",
+                family.label(),
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn families_match_summa2d_f64_small_ints() {
+    let p = 16;
+    let a = er_random::<PlusTimesF64>(40, 32, 3, 902).map(|v| (v * 4.0).round() + 1.0);
+    let b = small_int_dense(32, 9, 3);
+    let reference = run_spmm::<PlusTimesF64>(
+        &cfg_for(p, AlgorithmFamily::Summa2d, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    for family in families_under_test() {
+        let out = run_spmm::<PlusTimesF64>(
+            &cfg_for(p, family, BackendKind::Simgrid),
+            &a,
+            &b,
+        )
+        .unwrap();
+        assert_eq!(
+            out.c.as_ref().unwrap(),
+            &reference,
+            "{} disagrees with summa2d",
+            family.label()
+        );
+    }
+}
+
+#[test]
+fn families_match_summa2d_minplus_idempotent() {
+    // Min-plus: ⊕ = min is idempotent and order-independent; ⊗ = + is
+    // exact on small integers. The densified zero is +∞.
+    let p = 16;
+    let a = er_random::<MinPlusF64>(30, 30, 4, 903).map(|v| (v * 9.0).round());
+    let b = DenseBlock::from_fn(30, 8, |i, j| ((i * 11 + j * 5) % 13) as f64);
+    let reference = run_spmm::<MinPlusF64>(
+        &cfg_for(p, AlgorithmFamily::Summa2d, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    for family in families_under_test() {
+        let out =
+            run_spmm::<MinPlusF64>(&cfg_for(p, family, BackendKind::Simgrid), &a, &b).unwrap();
+        assert_eq!(
+            out.c.as_ref().unwrap(),
+            &reference,
+            "{} disagrees with summa2d",
+            family.label()
+        );
+    }
+}
+
+#[test]
+fn spgemm_entry_routes_15d_and_matches() {
+    // run_spgemm with a 1.5D family densifies B honestly and re-sparsifies
+    // the product; the result must match the batched pipeline exactly.
+    let a = er_random::<PlusTimesU64>(24, 24, 3, 904).map(|_| 2u64);
+    let b = er_random::<PlusTimesU64>(24, 24, 3, 905).map(|_| 1u64);
+    let reference = run_spgemm::<PlusTimesU64>(&RunConfig::new(16, 4), &a, &b)
+        .unwrap()
+        .c
+        .unwrap();
+    let mut cfg = RunConfig::new(16, 1);
+    cfg.algorithm = AlgorithmFamily::ColA15 { c: 2 };
+    let out = run_spgemm::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+    assert!(out.c.unwrap().eq_modulo_order(&reference));
+    assert_eq!(out.nbatches, 1);
+}
+
+#[test]
+fn awkward_shapes_and_degenerate_stripes() {
+    // d < p leaves some ranks with empty stripes; n_inner < t leaves some
+    // A blocks empty. Both must still conform.
+    let p = 16;
+    let a = er_random::<PlusTimesU64>(11, 7, 2, 906).map(|_| 5u64);
+    let b = DenseBlock::from_fn(7, 3, |i, j| ((i + j) % 4) as u64);
+    let reference = run_spmm::<PlusTimesU64>(
+        &cfg_for(p, AlgorithmFamily::Summa2d, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    for family in families_under_test() {
+        let out =
+            run_spmm::<PlusTimesU64>(&cfg_for(p, family, BackendKind::Simgrid), &a, &b).unwrap();
+        assert_eq!(
+            out.c.as_ref().unwrap(),
+            &reference,
+            "{} fails on degenerate shapes",
+            family.label()
+        );
+    }
+}
+
+#[test]
+fn shift_traffic_falls_with_innerabc_replication() {
+    // The cost story in one assert pair: InnerABC's per-rank A-Shift
+    // bytes shrink ~c²-fold, while ColA's stay ≈ flat (its replication
+    // buys latency rounds, not bytes).
+    use spgemm_simgrid::Step;
+    let p = 16;
+    let a = er_random::<PlusTimesU64>(64, 64, 6, 907).map(|_| 1u64);
+    let b = DenseBlock::from_fn(64, 16, |i, j| ((i + j) % 3) as u64);
+    let shift_bytes = |family: AlgorithmFamily| {
+        run_spmm::<PlusTimesU64>(&cfg_for(p, family, BackendKind::Simgrid), &a, &b)
+            .unwrap()
+            .max
+            .bytes_of(Step::AShift)
+    };
+    let iabc1 = shift_bytes(AlgorithmFamily::InnerAbc15 { c: 1 });
+    let iabc4 = shift_bytes(AlgorithmFamily::InnerAbc15 { c: 4 });
+    assert!(
+        (iabc4 as f64) < iabc1 as f64 / 4.0,
+        "InnerABC c=4 should cut shift bytes ≳4x: {iabc1} -> {iabc4}"
+    );
+    let cola1 = shift_bytes(AlgorithmFamily::ColA15 { c: 1 });
+    let cola4 = shift_bytes(AlgorithmFamily::ColA15 { c: 4 });
+    assert!(
+        cola4 as f64 > cola1 as f64 / 2.0,
+        "ColA shift bytes should stay near-flat in c: {cola1} -> {cola4}"
+    );
+}
+
+#[test]
+fn budget_admission_counts_replication() {
+    // A budget that fits c=1 can be blown by the replicated dense stripes
+    // + A blocks at c=4; the driver must refuse admission, naming bytes.
+    use spgemm_core::MemoryBudget;
+    let p = 16;
+    let a = er_random::<PlusTimesU64>(256, 256, 8, 908).map(|_| 1u64);
+    let b = DenseBlock::from_fn(256, 64, |i, j| ((i + j) % 3) as u64);
+    let mut cfg = cfg_for(p, AlgorithmFamily::InnerAbc15 { c: 4 }, BackendKind::Simgrid);
+    let fit = run_spmm::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+    let worst = *fit.peak_bytes.iter().max().unwrap();
+    cfg.budget = MemoryBudget::new(worst * p / 2);
+    match run_spmm::<PlusTimesU64>(&cfg, &a, &b) {
+        Err(CoreError::InputsExceedMemory {
+            needed_bytes,
+            budget_bytes,
+        }) => {
+            assert!(needed_bytes > budget_bytes);
+        }
+        other => panic!("expected admission failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_15d_rejected_by_driver_and_bad_c_by_harness() {
+    let a = er_random::<PlusTimesU64>(8, 8, 2, 909).map(|_| 1u64);
+    let b = DenseBlock::from_fn(8, 4, |i, j| (i + j) as u64);
+    // c that does not divide p fails with an error naming the pair.
+    let cfg = cfg_for(6, AlgorithmFamily::ColA15 { c: 4 }, BackendKind::Simgrid);
+    let err = run_spmm::<PlusTimesU64>(&cfg, &a, &b).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("p=6") && msg.contains("c=4"), "{msg}");
+    // Dimension mismatch caught before any cluster spawns.
+    let bad_b = DenseBlock::from_fn(9, 4, |_, _| 0u64);
+    let cfg = cfg_for(4, AlgorithmFamily::ColA15 { c: 2 }, BackendKind::Simgrid);
+    assert!(matches!(
+        run_spmm::<PlusTimesU64>(&cfg, &a, &bad_b),
+        Err(CoreError::Config(_))
+    ));
+}
+
+#[test]
+fn summa_families_answer_spmm_too() {
+    // The SUMMA side of run_spmm: sparsify-multiply-densify equals the
+    // dense reference from the 1.5D side.
+    let p = 16;
+    let a = er_random::<PlusTimesU64>(20, 18, 3, 910).map(|_| 4u64);
+    let b = DenseBlock::from_fn(18, 6, |i, j| ((i * 3 + j) % 5) as u64);
+    let via_cola = run_spmm::<PlusTimesU64>(
+        &cfg_for(p, AlgorithmFamily::ColA15 { c: 2 }, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    let via_3d = run_spmm::<PlusTimesU64>(
+        &cfg_for(p, AlgorithmFamily::Summa3dBatched, BackendKind::Simgrid),
+        &a,
+        &b,
+    )
+    .unwrap()
+    .c
+    .unwrap();
+    assert_eq!(via_cola, via_3d);
+}
+
+#[test]
+fn discard_output_returns_none_everywhere() {
+    let a = er_random::<PlusTimesU64>(16, 16, 2, 911).map(|_| 1u64);
+    let b = DenseBlock::from_fn(16, 4, |i, j| (i * j % 3) as u64);
+    let mut cfg = cfg_for(8, AlgorithmFamily::ColA15 { c: 2 }, BackendKind::Simgrid);
+    cfg.discard_output = true;
+    let out = run_spmm::<PlusTimesU64>(&cfg, &a, &b).unwrap();
+    assert!(out.c.is_none());
+    assert!(out.peak_bytes.iter().all(|&pk| pk > 0));
+}

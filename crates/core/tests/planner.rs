@@ -5,12 +5,12 @@
 
 use proptest::prelude::*;
 use spgemm_core::planner::{plan, BindingConstraint, PlannerConfig, ProbeConfig};
-use spgemm_core::{MemoryBudget, RunConfig};
+use spgemm_core::{AlgorithmFamily, MemoryBudget, RunConfig};
 use spgemm_core::harness::run_spgemm;
 use spgemm_simgrid::Machine;
 use spgemm_sparse::gen::{er_random, rmat};
 use spgemm_sparse::semiring::PlusTimesF64;
-use spgemm_sparse::CscMatrix;
+use spgemm_sparse::{CscMatrix, DenseBlock};
 
 const P: usize = 16;
 
@@ -150,6 +150,69 @@ fn degenerate_fixed_grid_rejected() {
     let err = run_spgemm::<PlusTimesF64>(&cfg, &a, &a).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("p=16") && msg.contains("l=3"), "{msg}");
+}
+
+/// Cross-family auto-planning, sparse-dense side: multiplying a sparse A
+/// against a tall-thin dense B, the stationary 1.5D families beat batched
+/// SUMMA (which must broadcast the heavy densified-B operand every stage
+/// and run a symbolic pass the 1.5D schedule doesn't need).
+#[test]
+fn family_sweep_picks_15d_on_sparse_dense() {
+    let a = er_random::<PlusTimesF64>(4096, 4096, 4, 201);
+    let b = DenseBlock::from_fn(4096, 16, |i, j| ((i * 7 + j) % 5) as f64 + 1.0)
+        .to_csc::<PlusTimesF64>();
+    let mut pcfg = planner_cfg(MemoryBudget::unlimited());
+    pcfg.families = AlgorithmFamily::sweep(P);
+    let rep = plan(P, &a, &b, &pcfg).unwrap();
+    let w = rep.winner().unwrap();
+    assert!(
+        w.candidate.family.is_15d(),
+        "sparse-dense winner should be 1.5D, got {}\n{}",
+        w.candidate.label(),
+        rep.to_table()
+    );
+    // The report can say why SUMMA lost.
+    assert!(rep.to_table().contains("winner:"));
+}
+
+/// Cross-family auto-planning, sparse-sparse side: on a Fig. 3-style
+/// squared ER matrix under a real memory budget, the 1.5D families'
+/// dense replicated stripes blow the per-process budget (they cannot
+/// batch), so batched 3D SUMMA wins.
+#[test]
+fn family_sweep_picks_batched_summa_on_constrained_sparse_sparse() {
+    let a = er_random::<PlusTimesF64>(512, 512, 8, 202);
+    let b = er_random::<PlusTimesF64>(512, 512, 8, 203);
+    let inputs = (a.nnz() + b.nnz()) * 24;
+    let mut pcfg = planner_cfg(MemoryBudget::new(inputs * 6));
+    pcfg.probe = ProbeConfig::exact();
+    pcfg.families = AlgorithmFamily::sweep(P);
+    let rep = plan(P, &a, &b, &pcfg).unwrap();
+    let w = rep.winner().expect("6x-inputs budget should be plannable");
+    assert_eq!(
+        w.candidate.family,
+        AlgorithmFamily::Summa3dBatched,
+        "constrained sparse-sparse winner should be batched SUMMA\n{}",
+        rep.to_table()
+    );
+    // Every 1.5D candidate is sunk by replication memory, and the report
+    // names the budget in its note.
+    for c in rep.ranked.iter().filter(|c| c.candidate.family.is_15d()) {
+        assert!(!c.feasible(), "{} should be infeasible", c.candidate.label());
+        assert!(c.note.contains("bytes/process"), "{}", c.note);
+    }
+}
+
+/// An invalid replication factor requested explicitly fails the plan with
+/// an error naming `(p, c)`, mirroring the degenerate-grid errors.
+#[test]
+fn bad_repl_factor_rejected_by_planner() {
+    let a = er_random::<PlusTimesF64>(64, 64, 4, 204);
+    let mut pcfg = planner_cfg(MemoryBudget::unlimited());
+    pcfg.families = vec![AlgorithmFamily::ColA15 { c: 3 }];
+    let err = plan(P, &a, &a, &pcfg).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("p=16") && msg.contains("c=3"), "{msg}");
 }
 
 fn small_er(n: usize, deg: usize, seed: u64) -> CscMatrix<f64> {

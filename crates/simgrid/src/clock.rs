@@ -45,10 +45,16 @@ pub enum Step {
     /// column-subset slices back point-to-point. Zero under dense
     /// broadcasts.
     FetchReply = 11,
+    /// 1.5D shift round: point-to-point rotation of a sparse `A` block
+    /// around a replication ring (ColA / InnerABC). Zero under SUMMA.
+    AShift = 12,
+    /// 1.5D partial-`C` reduction across a replication team (InnerABC's
+    /// allreduce of layer-partial dense outputs). Zero elsewhere.
+    CReduce = 13,
 }
 
 /// Number of [`Step`] variants.
-pub const N_STEPS: usize = 12;
+pub const N_STEPS: usize = 14;
 
 /// All steps in display order.
 pub const ALL_STEPS: [Step; N_STEPS] = [
@@ -58,9 +64,11 @@ pub const ALL_STEPS: [Step; N_STEPS] = [
     Step::BBcast,
     Step::FetchRequest,
     Step::FetchReply,
+    Step::AShift,
     Step::LocalMultiply,
     Step::MergeLayer,
     Step::AllToAllFiber,
+    Step::CReduce,
     Step::MergeFiber,
     Step::Other,
     Step::Wait,
@@ -82,6 +90,8 @@ impl Step {
             Step::Wait => "Wait",
             Step::FetchRequest => "Fetch-Request",
             Step::FetchReply => "Fetch-Reply",
+            Step::AShift => "A-Shift",
+            Step::CReduce => "C-Reduce",
         }
     }
 
@@ -95,6 +105,8 @@ impl Step {
                 | Step::AllToAllFiber
                 | Step::FetchRequest
                 | Step::FetchReply
+                | Step::AShift
+                | Step::CReduce
         )
     }
 }

@@ -1,0 +1,400 @@
+//! Dense operand support: column-major blocks and the sparse×dense
+//! (SpMM) accumulation kernel.
+//!
+//! The 1.5D communication-avoiding algorithms (ColA / InnerABC) multiply a
+//! sparse `A` by a **dense** `B` — the iterative-feature-propagation /
+//! embedding workload class. [`DenseBlock`] is their operand type:
+//! column-major (so one output column is contiguous, like a CSC column),
+//! `u32`-free, and cheap to slice into the row/column stripes the 1.5D
+//! data distributions use. [`Operand`] wraps either representation so the
+//! distributed layers can accept both without duplicating entry points.
+//!
+//! Memory discipline mirrors the sparse kernels: a long-lived
+//! [`crate::SpGemmWorkspace`] can back a block's buffer
+//! ([`DenseBlock::with_workspace`]), so repeated leases across iterations
+//! or shift rounds reuse one arena instead of reallocating.
+
+use crate::csc::CscMatrix;
+use crate::semiring::Semiring;
+use crate::spgemm::{SpGemmWorkspace, WorkStats, C_SPMM_FLOP};
+use crate::{Result, SparseError};
+use std::ops::Range;
+
+/// A dense matrix block in column-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBlock<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Column-major: entry `(i, j)` lives at `data[j * nrows + i]`.
+    data: Vec<T>,
+}
+
+impl<T: Copy> DenseBlock<T> {
+    /// A block with every entry set to `fill` (a semiring's zero, usually).
+    pub fn new_fill(nrows: usize, ncols: usize, fill: T) -> Self {
+        DenseBlock {
+            nrows,
+            ncols,
+            data: vec![fill; nrows * ncols],
+        }
+    }
+
+    /// A filled block whose buffer is leased from `ws`'s dense arena —
+    /// repeated construction (per shift round, per iteration) reuses one
+    /// allocation. Return the buffer with [`DenseBlock::into_workspace`].
+    pub fn with_workspace(nrows: usize, ncols: usize, fill: T, ws: &mut SpGemmWorkspace<T>) -> Self {
+        DenseBlock {
+            nrows,
+            ncols,
+            data: ws.lease_dense(nrows * ncols, fill),
+        }
+    }
+
+    /// Give the buffer back to `ws`'s dense arena for the next lease.
+    pub fn into_workspace(self, ws: &mut SpGemmWorkspace<T>) {
+        ws.restore_dense(self.data);
+    }
+
+    /// Build from a generator called as `f(i, j)` in column-major order.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        DenseBlock { nrows, ncols, data }
+    }
+
+    /// Build from raw column-major data (`data.len() == nrows * ncols`).
+    pub fn from_raw(nrows: usize, ncols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(SparseError::InvalidStructure(format!(
+                "dense data length {} != nrows*ncols = {}",
+                data.len(),
+                nrows * ncols
+            )));
+        }
+        Ok(DenseBlock { nrows, ncols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[j * self.nrows + i]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        self.data[j * self.nrows + i] = v;
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// The raw column-major buffer.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into the raw column-major buffer.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Copy out the column range `cols` as a new block (all rows).
+    pub fn col_slice(&self, cols: Range<usize>) -> DenseBlock<T> {
+        debug_assert!(cols.end <= self.ncols);
+        DenseBlock {
+            nrows: self.nrows,
+            ncols: cols.len(),
+            data: self.data[cols.start * self.nrows..cols.end * self.nrows].to_vec(),
+        }
+    }
+
+    /// Copy out the row range `rows` as a new block (all columns).
+    pub fn row_slice(&self, rows: Range<usize>) -> DenseBlock<T> {
+        debug_assert!(rows.end <= self.nrows);
+        let mut data = Vec::with_capacity(rows.len() * self.ncols);
+        for j in 0..self.ncols {
+            data.extend_from_slice(&self.data[j * self.nrows + rows.start..j * self.nrows + rows.end]);
+        }
+        DenseBlock {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            data,
+        }
+    }
+
+    /// Modeled bytes of the block (one scalar slot per entry — dense
+    /// storage has no index overhead, unlike the sparse `r`-bytes-per-nnz
+    /// model).
+    pub fn modeled_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Densify a sparse matrix: zero-fill (`S::zero()`) plus stored
+    /// entries. Duplicate coordinates are combined with `S::add`.
+    pub fn from_csc<S: Semiring<T = T>>(m: &CscMatrix<T>) -> Self {
+        let mut d = DenseBlock::new_fill(m.nrows(), m.ncols(), S::zero());
+        for (i, j, v) in m.iter() {
+            let slot = &mut d.data[j * d.nrows + i as usize];
+            *slot = S::add(*slot, v);
+        }
+        d
+    }
+
+    /// Sparsify: drop entries `S::is_zero` reports as zero. Columns come
+    /// out sorted (row-ascending) by construction.
+    pub fn to_csc<S: Semiring<T = T>>(&self) -> CscMatrix<T> {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx: Vec<u32> = Vec::new();
+        let mut vals: Vec<T> = Vec::new();
+        for j in 0..self.ncols {
+            for (i, &v) in self.col(j).iter().enumerate() {
+                if !S::is_zero(v) {
+                    rowidx.push(i as u32);
+                    vals.push(v);
+                }
+            }
+            colptr[j + 1] = rowidx.len();
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, colptr, rowidx, vals, true)
+    }
+}
+
+/// Either operand representation, for entry points that accept both.
+#[derive(Debug, Clone)]
+pub enum Operand<T: Copy> {
+    /// Compressed sparse column.
+    Sparse(CscMatrix<T>),
+    /// Column-major dense.
+    Dense(DenseBlock<T>),
+}
+
+impl<T: Copy> Operand<T> {
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        match self {
+            Operand::Sparse(m) => m.nrows(),
+            Operand::Dense(d) => d.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        match self {
+            Operand::Sparse(m) => m.ncols(),
+            Operand::Dense(d) => d.ncols(),
+        }
+    }
+
+    /// Stored entries: `nnz` for sparse, every slot for dense.
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            Operand::Sparse(m) => m.nnz(),
+            Operand::Dense(d) => d.nrows() * d.ncols(),
+        }
+    }
+
+    /// Modeled bytes under the sparse `r`-bytes-per-nnz model for sparse
+    /// operands, scalar bytes for dense ones.
+    pub fn modeled_bytes(&self, r: usize) -> usize {
+        match self {
+            Operand::Sparse(m) => m.modeled_bytes(r),
+            Operand::Dense(d) => d.modeled_bytes(),
+        }
+    }
+
+    /// Force a dense representation (densifying sparse via `S::zero`).
+    pub fn to_dense<S: Semiring<T = T>>(&self) -> DenseBlock<T> {
+        match self {
+            Operand::Sparse(m) => DenseBlock::from_csc::<S>(m),
+            Operand::Dense(d) => d.clone(),
+        }
+    }
+
+    /// Force a sparse representation (dropping `S::is_zero` entries).
+    pub fn to_sparse<S: Semiring<T = T>>(&self) -> CscMatrix<T> {
+        match self {
+            Operand::Sparse(m) => m.clone(),
+            Operand::Dense(d) => d.to_csc::<S>(),
+        }
+    }
+}
+
+/// SpMM accumulation: `C += A · B[b_row_offset.., :]` over semiring `S`.
+///
+/// `A` is a sparse block whose columns index rows
+/// `b_row_offset..b_row_offset + ncols(A)` of `b`; `c` must have
+/// `nrows(A)` rows and `ncols(b)` columns and is accumulated **in place**
+/// (the 1.5D drivers call this once per shift round, with the same `c`).
+///
+/// For each dense column the kernel walks `A` column-by-column and
+/// scatters `A(:,k) · b(k, j)` into the dense output column — Gustavson
+/// with a dense accumulator that *is* the output, so there is no merge or
+/// drain step. Accumulation order is deterministic: ascending `k`, then
+/// `A`'s stored order within a column.
+pub fn spmm_acc<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    b: &DenseBlock<S::T>,
+    b_row_offset: usize,
+    c: &mut DenseBlock<S::T>,
+) -> Result<WorkStats> {
+    if b_row_offset + a.ncols() > b.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: (b_row_offset + a.ncols(), b.ncols()),
+            found: (b.nrows(), b.ncols()),
+        });
+    }
+    if c.nrows() != a.nrows() || c.ncols() != b.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            expected: (a.nrows(), b.ncols()),
+            found: (c.nrows(), c.ncols()),
+        });
+    }
+    let mut stats = WorkStats::default();
+    for j in 0..b.ncols() {
+        let bcol = b.col(j);
+        let ccol = c.col_mut(j);
+        for k in 0..a.ncols() {
+            let bv = bcol[b_row_offset + k];
+            if S::is_zero(bv) {
+                continue;
+            }
+            let (rows, vals) = a.col(k);
+            stats.flops += rows.len() as u64;
+            for (&i, &av) in rows.iter().zip(vals.iter()) {
+                let slot = &mut ccol[i as usize];
+                *slot = S::add(*slot, S::mul(av, bv));
+            }
+        }
+    }
+    stats.nnz_out = (c.nrows() * c.ncols()) as u64;
+    stats.work_units = stats.flops as f64 * C_SPMM_FLOP;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er_random;
+    use crate::semiring::{MinPlusF64, PlusTimesF64, PlusTimesU64};
+    use crate::spgemm::spgemm_spa;
+
+    #[test]
+    fn roundtrip_csc_dense_csc() {
+        let m = er_random::<PlusTimesF64>(13, 9, 3, 5);
+        let d = DenseBlock::from_csc::<PlusTimesF64>(&m);
+        assert_eq!((d.nrows(), d.ncols()), (13, 9));
+        let back = d.to_csc::<PlusTimesF64>();
+        assert!(back.eq_modulo_order(&m));
+    }
+
+    #[test]
+    fn minplus_zero_is_infinity() {
+        // MinPlus zero is +∞: densify fills with ∞ and sparsify drops it.
+        let m = er_random::<MinPlusF64>(8, 8, 2, 7);
+        let d = DenseBlock::from_csc::<MinPlusF64>(&m);
+        let back = d.to_csc::<MinPlusF64>();
+        assert!(back.eq_modulo_order(&m));
+        assert!(d.get(0, 0).is_infinite() || m.col(0).0.contains(&0));
+    }
+
+    #[test]
+    fn spmm_matches_spa_on_densified_b() {
+        let a = er_random::<PlusTimesU64>(20, 16, 3, 11).map(|_| 3u64);
+        let b_sparse = er_random::<PlusTimesU64>(16, 6, 4, 12).map(|_| 2u64);
+        let (reference, _) = spgemm_spa::<PlusTimesU64>(&a, &b_sparse).unwrap();
+        let b = DenseBlock::from_csc::<PlusTimesU64>(&b_sparse);
+        let mut c = DenseBlock::new_fill(20, 6, 0u64);
+        let stats = spmm_acc::<PlusTimesU64>(&a, &b, 0, &mut c).unwrap();
+        assert!(stats.flops > 0);
+        let c_sparse = c.to_csc::<PlusTimesU64>();
+        assert!(c_sparse.eq_modulo_order(&reference));
+    }
+
+    #[test]
+    fn spmm_accumulates_block_splits() {
+        // Splitting A into column blocks and accumulating must equal one
+        // full multiply — the 1.5D shift-round invariant.
+        let a = er_random::<PlusTimesU64>(18, 12, 3, 21).map(|_| 1u64);
+        let b = DenseBlock::from_fn(12, 5, |i, j| ((i * 5 + j) % 7) as u64);
+        let mut whole = DenseBlock::new_fill(18, 5, 0u64);
+        spmm_acc::<PlusTimesU64>(&a, &b, 0, &mut whole).unwrap();
+        let mut split = DenseBlock::new_fill(18, 5, 0u64);
+        for (k, blk) in crate::ops::col_split_blocks(&a, 3).iter().enumerate() {
+            let range = crate::ops::block_range(12, 3, k);
+            spmm_acc::<PlusTimesU64>(blk, &b, range.start, &mut split).unwrap();
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn slices_are_consistent() {
+        let d = DenseBlock::from_fn(6, 4, |i, j| (i * 10 + j) as u64);
+        let rows = d.row_slice(2..5);
+        assert_eq!((rows.nrows(), rows.ncols()), (3, 4));
+        assert_eq!(rows.get(0, 1), 21);
+        let cols = d.col_slice(1..3);
+        assert_eq!((cols.nrows(), cols.ncols()), (6, 2));
+        assert_eq!(cols.get(4, 0), 41);
+    }
+
+    #[test]
+    fn workspace_lease_reuses_buffer() {
+        let mut ws = SpGemmWorkspace::<u64>::new();
+        let d = DenseBlock::with_workspace(4, 4, 7u64, &mut ws);
+        assert!(d.data().iter().all(|&v| v == 7));
+        d.into_workspace(&mut ws);
+        let allocs_before = ws.total_allocs();
+        let d2 = DenseBlock::with_workspace(4, 3, 1u64, &mut ws);
+        assert_eq!(ws.total_allocs(), allocs_before, "re-lease must not allocate");
+        assert!(d2.data().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn operand_unifies_shapes() {
+        let m = er_random::<PlusTimesF64>(10, 7, 2, 31);
+        let nnz = m.nnz();
+        let s = Operand::Sparse(m.clone());
+        let d = Operand::Dense(DenseBlock::from_csc::<PlusTimesF64>(&m));
+        assert_eq!((s.nrows(), s.ncols()), (10, 7));
+        assert_eq!((d.nrows(), d.ncols()), (10, 7));
+        assert_eq!(s.stored_entries(), nnz);
+        assert_eq!(d.stored_entries(), 70);
+        assert!(d.to_sparse::<PlusTimesF64>().eq_modulo_order(&m));
+        assert!(s.to_dense::<PlusTimesF64>().to_csc::<PlusTimesF64>().eq_modulo_order(&m));
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        let a = CscMatrix::<u64>::zero(4, 3);
+        let b = DenseBlock::new_fill(2, 2, 0u64);
+        let mut c = DenseBlock::new_fill(4, 2, 0u64);
+        assert!(spmm_acc::<PlusTimesU64>(&a, &b, 0, &mut c).is_err());
+        assert!(DenseBlock::from_raw(2, 2, vec![0u64; 3]).is_err());
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod csc;
 pub mod dcsc;
+pub mod dense;
 pub mod gen;
 pub mod io;
 pub mod merge;
@@ -48,6 +49,7 @@ pub mod validate;
 
 pub use csc::CscMatrix;
 pub use dcsc::DcscMatrix;
+pub use dense::{spmm_acc, DenseBlock, Operand};
 pub use semiring::{BoolOrAnd, MaxMinF64, MinPlusF64, PlusTimesF64, PlusTimesI64, PlusTimesU64, Semiring};
 pub use spgemm::{SpGemmWorkspace, WorkStats};
 pub use triples::Triples;

@@ -99,6 +99,11 @@ pub const C_SORT: f64 = 0.6;
 pub const C_MERGE_HASH: f64 = 0.8;
 /// Per-element, per-log₂(k) cost of heap merging `k` sorted matrices.
 pub const C_MERGE_HEAP: f64 = 2.2;
+/// Per-flop cost of the sparse×dense (SpMM) scatter-accumulate: no hash
+/// probe, no drain — a direct indexed add into the dense output column —
+/// so it is cheaper than a hash flop. The planner's 1.5D compute terms
+/// use this same constant (`predict` mirrors the kernel exactly).
+pub const C_SPMM_FLOP: f64 = 0.4;
 
 /// log₂ clamped below at 1 (so a single stream still costs one comparison).
 #[inline]
